@@ -1,0 +1,92 @@
+//! Criterion benches of the six classification algorithms' fit and predict
+//! costs on a SmartFlux-shaped training set (§3.2's comparison, cost axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smartflux_ml::{
+    Classifier, Dataset, DecisionTree, GaussianNaiveBayes, LinearSvm, LogisticRegression,
+    NeuralNetwork, RandomForest,
+};
+
+/// A noisy threshold problem of the size SmartFlux trains per label:
+/// a few hundred waves, one impact feature.
+fn training_data() -> Dataset {
+    let n = 500;
+    let x: Vec<Vec<f64>> = (0..n).map(|i| vec![((i * 37) % 101) as f64]).collect();
+    let y: Vec<bool> = x
+        .iter()
+        .enumerate()
+        .map(|(i, r)| r[0] > 50.0 || i % 19 == 0)
+        .collect();
+    Dataset::new(x, y).expect("well-formed data")
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = training_data();
+    let mut group = c.benchmark_group("fit_500x1");
+    group.sample_size(20);
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| {
+            let mut m = GaussianNaiveBayes::new();
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| {
+            let mut m = DecisionTree::new();
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.bench_function("logistic", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new();
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.bench_function("random_forest_60", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(60).with_max_depth(12).with_seed(7);
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.bench_function("svm", |b| {
+        b.iter(|| {
+            let mut m = LinearSvm::new().with_seed(7);
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.bench_function("mlp_8x150", |b| {
+        b.iter(|| {
+            let mut m = NeuralNetwork::new(8).with_epochs(150).with_seed(7);
+            m.fit(black_box(&data)).expect("fit succeeds");
+            black_box(m.predict(&[40.0]))
+        });
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = training_data();
+    let mut forest = RandomForest::new(60).with_max_depth(12).with_seed(7);
+    forest.fit(&data).expect("fit succeeds");
+    let mut tree = DecisionTree::new();
+    tree.fit(&data).expect("fit succeeds");
+
+    let mut group = c.benchmark_group("predict_one");
+    group.bench_function("random_forest_60", |b| {
+        b.iter(|| black_box(forest.predict_proba(black_box(&[40.0]))));
+    });
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| black_box(tree.predict_proba(black_box(&[40.0]))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches of the datastore substrate: put/get/scan throughput
+//! with and without a registered observer (the paper's monitoring
+//! interception path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smartflux_datastore::{ContainerRef, DataStore, ScanFilter, Value, WriteEvent};
+
+fn fresh_store() -> DataStore {
+    let store = DataStore::new();
+    store
+        .ensure_container(&ContainerRef::family("t", "f"))
+        .expect("fresh store");
+    store
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put");
+    group.bench_function("bare", |b| {
+        let store = fresh_store();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store
+                .put("t", "f", "row", "q", Value::from(i as f64))
+                .expect("write succeeds")
+        });
+    });
+    group.bench_function("with_observer", |b| {
+        let store = fresh_store();
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&count);
+        store.register_observer(Arc::new(move |e: &WriteEvent| {
+            // The monitoring path: attribute and accumulate the magnitude.
+            let m = match (&e.old, &e.new) {
+                (Some(o), Some(n)) => n.abs_diff(o),
+                _ => 1.0,
+            };
+            c2.fetch_add(m as u64, Ordering::Relaxed);
+        }));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store
+                .put("t", "f", "row", "q", Value::from(i as f64))
+                .expect("write succeeds")
+        });
+        black_box(count.load(Ordering::Relaxed));
+    });
+    group.finish();
+}
+
+fn bench_get_scan(c: &mut Criterion) {
+    let store = fresh_store();
+    for i in 0..1000 {
+        store
+            .put("t", "f", &format!("r{i:05}"), "v", Value::from(i as f64))
+            .expect("setup write");
+    }
+    let mut group = c.benchmark_group("read");
+    group.bench_function("get_one", |b| {
+        b.iter(|| black_box(store.get("t", "f", "r00500", "v").expect("family exists")));
+    });
+    for &limit in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("scan", limit), &limit, |b, &l| {
+            let filter = ScanFilter::all().with_limit(l);
+            b.iter(|| black_box(store.scan("t", "f", &filter).expect("family exists")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get_scan);
+criterion_main!(benches);

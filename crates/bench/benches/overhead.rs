@@ -1,0 +1,117 @@
+//! Criterion benches for §5.3's overhead sources: computing the input
+//! impact and output error, classifying an instance, building the model,
+//! and taking container snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use smartflux::{
+    KnowledgeBase, MagnitudeImpact, MeanRelativeError, MetricContext, MetricFn, ModelKind,
+    Predictor,
+};
+use smartflux_datastore::{ContainerRef, DataStore, Value};
+
+fn populated_store(cells: usize) -> (DataStore, ContainerRef) {
+    let store = DataStore::new();
+    let c = ContainerRef::family("t", "f");
+    store.ensure_container(&c).expect("fresh store");
+    for i in 0..cells {
+        store
+            .put("t", "f", &format!("r{i:05}"), "v", Value::from(i as f64))
+            .expect("setup write");
+    }
+    (store, c)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_functions");
+    for &n in &[100usize, 1000] {
+        let values: Vec<(Value, Value)> = (0..n)
+            .map(|i| (Value::from(i as f64 + 0.5), Value::from(i as f64)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("magnitude_impact", n),
+            &values,
+            |b, vals| {
+                b.iter(|| {
+                    let mut m = MagnitudeImpact::new();
+                    for (new, old) in vals {
+                        m.update(Some(new), Some(old));
+                    }
+                    black_box(m.compute(&MetricContext::new(vals.len(), 1000.0)))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mean_relative_error", n),
+            &values,
+            |b, vals| {
+                b.iter(|| {
+                    let mut m = MeanRelativeError::new();
+                    for (new, old) in vals {
+                        m.update(Some(new), Some(old));
+                    }
+                    black_box(m.compute(&MetricContext::new(vals.len(), 1000.0)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for &n in &[100usize, 1000] {
+        let (store, container) = populated_store(n);
+        group.bench_with_input(BenchmarkId::new("capture", n), &n, |b, _| {
+            b.iter(|| black_box(store.snapshot(&container).expect("snapshot")));
+        });
+        let base = store.snapshot(&container).expect("snapshot");
+        for i in 0..n / 10 {
+            store
+                .put("t", "f", &format!("r{i:05}"), "v", Value::from(-1.0))
+                .expect("mutation");
+        }
+        let current = store.snapshot(&container).expect("snapshot");
+        group.bench_with_input(BenchmarkId::new("diff_10pct_changed", n), &n, |b, _| {
+            b.iter(|| black_box(current.diff(&base)));
+        });
+    }
+    group.finish();
+}
+
+fn training_kb(rows: usize, steps: usize) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new((0..steps).map(|j| format!("step{j}")).collect());
+    for w in 0..rows {
+        let impacts: Vec<f64> = (0..steps).map(|j| ((w * (j + 3)) % 97) as f64).collect();
+        let labels: Vec<bool> = impacts.iter().map(|&i| i > 48.0).collect();
+        kb.append(w as u64, impacts, labels)
+            .expect("schema matches");
+    }
+    kb
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    group.sample_size(20);
+    // Model build time: the paper's dominant (yet sub-second) overhead.
+    let kb = training_kb(500, 6);
+    group.bench_function("build_model_500x6", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(ModelKind::default(), 7);
+            p.train(black_box(&kb)).expect("training succeeds");
+            black_box(p.is_trained())
+        });
+    });
+    // Per-wave classification latency.
+    let mut p = Predictor::new(ModelKind::default(), 7);
+    p.train(&kb).expect("training succeeds");
+    let features = vec![10.0, 60.0, 30.0, 80.0, 5.0, 50.0];
+    group.bench_function("classify_wave", |b| {
+        b.iter(|| black_box(p.predict(black_box(&features)).expect("trained")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_snapshot_diff, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the design-choice ablations (DESIGN.md §5).
+
+fn main() {
+    smartflux_bench::exp::ablations::run();
+}

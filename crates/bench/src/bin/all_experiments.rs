@@ -1,0 +1,22 @@
+//! Runs every experiment of the paper's evaluation in sequence, writing all
+//! CSVs under `results/`.
+
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    smartflux_bench::exp::fig03::run();
+    smartflux_bench::exp::fig07::run();
+    smartflux_bench::exp::fig08::run();
+    smartflux_bench::exp::fig09_12::run();
+    smartflux_bench::exp::fig11::run();
+    smartflux_bench::exp::motivating::run();
+    smartflux_bench::exp::roc::run();
+    smartflux_bench::exp::overhead::run();
+    // Headline summary last, so its numbers sit at the bottom of the log.
+    smartflux_bench::headline();
+    println!(
+        "\nall experiments completed in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,87 @@
+//! Diagnostic tool: inspects a workload's knowledge base, model quality,
+//! per-step execution rates, violation structure, and the oracle ceiling.
+//!
+//! Useful when tuning a new workload's QoD bounds or metric functions:
+//! degenerate label rates, out-of-range impacts and attenuating step chains
+//! all show up here before they show up as low confidence.
+//!
+//! Run with: `cargo run --release -p smartflux-bench --bin diagnose [bound]`
+
+use smartflux::eval::EvalPolicy;
+use smartflux_bench::{pct, Workload};
+
+fn main() {
+    let bound: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    for wl in [Workload::Lrb, Workload::Aqhi] {
+        println!("\n════ {} @ bound {} ════", wl.id(), pct(bound));
+
+        // Oracle ceiling: what a perfect predictor would achieve.
+        let oracle = wl.evaluate_policy(bound, EvalPolicy::Oracle, wl.application_waves());
+        println!(
+            "oracle ceiling: {} executions, {} confidence ({} violations)",
+            pct(oracle.normalized_executions()),
+            pct(oracle.confidence.confidence()),
+            oracle.confidence.violations()
+        );
+
+        // SmartFlux run with full diagnostics.
+        let report = wl.evaluate_policy(
+            bound,
+            EvalPolicy::SmartFlux(Box::new(wl.engine_config(bound))),
+            wl.application_waves(),
+        );
+        println!(
+            "smartflux:      {} executions, {} confidence ({} violations)",
+            pct(report.normalized_executions()),
+            pct(report.confidence.confidence()),
+            report.confidence.violations()
+        );
+
+        let engine = report.engine.as_ref().expect("smartflux run has an engine");
+        engine.with(|e| {
+            let kb = e.knowledge_base();
+            println!("\nknowledge base ({} rows):", kb.len());
+            println!(
+                "  {:<20} {:>10} {:>24}",
+                "step", "label rate", "impact range"
+            );
+            let app: Vec<_> = e.diagnostics().iter().filter(|d| !d.training).collect();
+            for (j, name) in e.qod_step_names().iter().enumerate() {
+                let impacts: Vec<f64> = kb.rows().iter().map(|r| r.impacts[j]).collect();
+                let lo = impacts.iter().copied().fold(f64::MAX, f64::min);
+                let hi = impacts.iter().copied().fold(f64::MIN, f64::max);
+                let app_rate =
+                    app.iter().filter(|d| d.decisions[j]).count() as f64 / app.len().max(1) as f64;
+                println!(
+                    "  {:<20} {:>10.2} {:>10.2e}..{:>9.2e}  (app rate {:.2})",
+                    name,
+                    kb.positive_rate(j),
+                    lo,
+                    hi,
+                    app_rate
+                );
+            }
+            if let Some(q) = e.predictor().quality() {
+                println!(
+                    "\nmodel quality (10-fold CV): accuracy {:.3}, precision {:.3}, recall {:.3}",
+                    q.accuracy, q.precision, q.recall
+                );
+            }
+        });
+
+        // Violation structure by hour of the workload's cycle.
+        let cycle = if wl == Workload::Lrb { 240 } else { 24 };
+        let buckets = 24;
+        let mut by_bucket = vec![0usize; buckets];
+        for w in &report.waves {
+            if !w.compliant {
+                by_bucket[((w.wave % cycle) * buckets as u64 / cycle) as usize] += 1;
+            }
+        }
+        println!("violations across the {cycle}-wave cycle: {by_bucket:?}");
+    }
+}

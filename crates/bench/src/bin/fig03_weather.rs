@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (diurnal weather curves).
+
+fn main() {
+    smartflux_bench::exp::fig03::run();
+}

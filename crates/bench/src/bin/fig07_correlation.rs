@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7 (input-impact vs error correlation).
+
+fn main() {
+    smartflux_bench::exp::fig07::run();
+}

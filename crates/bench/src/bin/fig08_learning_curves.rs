@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (accuracy/precision/recall vs training size).
+
+fn main() {
+    smartflux_bench::exp::fig08::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (measured vs predicted errors) together with
+//! Figs. 10 and 12, which share the same runs.
+
+fn main() {
+    smartflux_bench::exp::fig09_12::run();
+}

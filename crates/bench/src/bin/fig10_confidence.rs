@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10 (confidence in respecting error bounds). Shares its
+//! runs with Figs. 9 and 12.
+
+fn main() {
+    smartflux_bench::exp::fig09_12::run();
+}

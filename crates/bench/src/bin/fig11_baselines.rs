@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (SmartFlux vs naive triggering approaches).
+
+fn main() {
+    smartflux_bench::exp::fig11::run();
+}

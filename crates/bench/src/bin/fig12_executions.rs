@@ -1,0 +1,6 @@
+//! Regenerates Fig. 12 (executions vs the synchronous model). Shares its
+//! runs with Figs. 9 and 10.
+
+fn main() {
+    smartflux_bench::exp::fig09_12::run();
+}

@@ -1,0 +1,5 @@
+//! Headline summary: savings, speedups and confidence per bound.
+
+fn main() {
+    smartflux_bench::headline();
+}

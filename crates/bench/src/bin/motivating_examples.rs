@@ -1,0 +1,5 @@
+//! Quantifies the paper's motivating examples (fire risk, PageRank).
+
+fn main() {
+    smartflux_bench::exp::motivating::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §5.3 overhead measurements.
+
+fn main() {
+    smartflux_bench::exp::overhead::run();
+}

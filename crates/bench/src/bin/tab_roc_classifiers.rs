@@ -1,0 +1,5 @@
+//! Regenerates the §3.2 classifier comparison (ROC areas).
+
+fn main() {
+    smartflux_bench::exp::roc::run();
+}

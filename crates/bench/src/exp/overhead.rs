@@ -1,0 +1,255 @@
+//! §5.3 overhead: per-task overhead of running under SmartFlux vs the clean
+//! WMS, and the cost of building the classification model.
+//!
+//! The paper reports per-task overhead "always close to 0%", model building
+//! "less than a second", and note that the overall overhead is negative
+//! since executions are skipped. We measure wall-clock per-wave times for
+//! (i) the clean synchronous scheduler, (ii) the scheduler with the
+//! SmartFlux engine in training mode (monitoring + metrics + logging) and
+//! (iii) the application phase, plus the model build time.
+
+use std::time::{Duration, Instant};
+
+use smartflux::{EngineConfig, QodEngine, SharedEngine};
+use smartflux_datastore::{ContainerRef, DataStore, Value};
+use smartflux_wms::{FnStep, GraphBuilder, Scheduler, StepContext, SynchronousPolicy, Workflow};
+
+use crate::{heading, pct, write_csv, Workload};
+
+/// Builds a synthetic 3-step pipeline whose steps burn `work` of CPU each —
+/// a stand-in for the paper's minutes-long Hadoop tasks, scaled down so the
+/// experiment completes quickly. The *relative* overhead of SmartFlux
+/// monitoring against such tasks is what the paper reports as ≈0%.
+fn heavy_workflow(store: &DataStore, work: Duration) -> Workflow {
+    for fam in ["a", "b", "c"] {
+        store
+            .ensure_container(&ContainerRef::family("h", fam))
+            .expect("fresh store");
+    }
+    let mut g = GraphBuilder::new("heavy");
+    let src = g.add_step("src");
+    let mid = g.add_step("mid");
+    let out = g.add_step("out");
+    g.add_chain(&[src, mid, out]).expect("valid chain");
+    let mut wf = Workflow::new(g.build().expect("DAG"));
+
+    let spin = move || {
+        let start = Instant::now();
+        let mut x = 0u64;
+        while start.elapsed() < work {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            std::hint::black_box(x);
+        }
+    };
+
+    wf.bind(
+        src,
+        FnStep::new(move |ctx: &StepContext| {
+            spin();
+            for i in 0..50 {
+                let v = (ctx.wave() * 31 + i) % 97;
+                ctx.put("h", "a", &format!("r{i}"), "v", Value::from(v as f64))?;
+            }
+            Ok(())
+        }),
+    )
+    .source()
+    .writes(ContainerRef::family("h", "a"));
+    wf.bind(
+        mid,
+        FnStep::new(move |ctx: &StepContext| {
+            spin();
+            for i in 0..50 {
+                let v = ctx.get_f64("h", "a", &format!("r{i}"), "v", 0.0)?;
+                ctx.put("h", "b", &format!("r{i}"), "v", Value::from(v * 2.0))?;
+            }
+            Ok(())
+        }),
+    )
+    .reads(ContainerRef::family("h", "a"))
+    .writes(ContainerRef::family("h", "b"))
+    .error_bound(0.05);
+    wf.bind(
+        out,
+        FnStep::new(move |ctx: &StepContext| {
+            spin();
+            let mut sum = 0.0;
+            for i in 0..50 {
+                sum += ctx.get_f64("h", "b", &format!("r{i}"), "v", 0.0)?;
+            }
+            ctx.put("h", "c", "total", "v", Value::from(sum))?;
+            Ok(())
+        }),
+    )
+    .reads(ContainerRef::family("h", "b"))
+    .writes(ContainerRef::family("h", "c"))
+    .error_bound(0.05);
+    wf
+}
+
+/// Measures the relative per-task overhead against steps that do `work` of
+/// real computation each (the paper's "for each wave of data, we measured
+/// the running time of tasks executed by SmartFlux versus the clean WMS").
+#[must_use]
+pub fn heavy_task_overhead(work: Duration, waves: u64) -> f64 {
+    let store = DataStore::new();
+    let wf = heavy_workflow(&store, work);
+    let mut clean = Scheduler::new(wf, store, Box::new(SynchronousPolicy));
+    let start = Instant::now();
+    clean.run_waves(waves).expect("clean run succeeds");
+    let clean_time = start.elapsed();
+
+    let store = DataStore::new();
+    let wf = heavy_workflow(&store, work);
+    let config = EngineConfig::new()
+        .with_training_waves(waves as usize * 2)
+        .with_seed(1);
+    let engine =
+        QodEngine::from_workflow(&wf, store.clone(), config).expect("workflow declares QoD steps");
+    let shared = SharedEngine::new(engine);
+    let mut monitored = Scheduler::new(wf, store, Box::new(shared));
+    let start = Instant::now();
+    monitored.run_waves(waves).expect("monitored run succeeds");
+    let monitored_time = start.elapsed();
+
+    (monitored_time.as_secs_f64() - clean_time.as_secs_f64()) / clean_time.as_secs_f64()
+}
+
+/// Measured overhead for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Mean wall-clock per wave under the clean synchronous WMS (µs).
+    pub clean_us: f64,
+    /// Mean wall-clock per wave with SmartFlux monitoring + training (µs).
+    pub training_us: f64,
+    /// Mean wall-clock per adaptive wave (µs).
+    pub application_us: f64,
+    /// Time to build the classification model (µs).
+    pub model_build_us: f64,
+}
+
+impl OverheadReport {
+    /// Relative training-mode overhead vs the clean WMS.
+    #[must_use]
+    pub fn training_overhead(&self) -> f64 {
+        (self.training_us - self.clean_us) / self.clean_us
+    }
+
+    /// Relative application-mode "overhead" (negative = faster, since
+    /// executions are skipped).
+    #[must_use]
+    pub fn application_overhead(&self) -> f64 {
+        (self.application_us - self.clean_us) / self.clean_us
+    }
+}
+
+/// Measures overhead for one workload over `waves` waves per mode.
+#[must_use]
+pub fn measure(workload: Workload, waves: u64) -> OverheadReport {
+    let bound = 0.10;
+
+    // Clean WMS: plain synchronous scheduler, no SmartFlux attached.
+    let store = DataStore::new();
+    let wf = workload.factory(bound).build(&store);
+    let mut clean = Scheduler::new(wf, store, Box::new(SynchronousPolicy));
+    let start = Instant::now();
+    clean.run_waves(waves).expect("clean run succeeds");
+    let clean_us = start.elapsed().as_micros() as f64 / waves as f64;
+
+    // SmartFlux in training mode: full monitoring, metric computation and
+    // knowledge-base logging on top of synchronous execution.
+    let store = DataStore::new();
+    let wf = workload.factory(bound).build(&store);
+    let mut config = workload.engine_config(bound);
+    config.training_waves = waves as usize;
+    let engine =
+        QodEngine::from_workflow(&wf, store.clone(), config).expect("workloads declare QoD steps");
+    let shared = SharedEngine::new(engine);
+    let mut training = Scheduler::new(wf, store, Box::new(shared.clone()));
+    let start = Instant::now();
+    training.run_waves(waves).expect("training run succeeds");
+    let training_us = start.elapsed().as_micros() as f64 / waves as f64;
+    let model_build_us = shared.with(|e| {
+        e.predictor()
+            .last_build_time()
+            .map_or(0.0, |d| d.as_micros() as f64)
+    });
+
+    // Application phase: run a training prologue, then time adaptive waves.
+    let store = DataStore::new();
+    let wf = workload.factory(bound).build(&store);
+    let mut config = workload.engine_config(bound);
+    config.training_waves = waves as usize;
+    let engine =
+        QodEngine::from_workflow(&wf, store.clone(), config).expect("workloads declare QoD steps");
+    let shared = SharedEngine::new(engine);
+    let mut sched = Scheduler::new(wf, store, Box::new(shared.clone()));
+    sched.run_waves(waves).expect("training prologue succeeds");
+    let start = Instant::now();
+    sched.run_waves(waves).expect("application run succeeds");
+    let application_us = start.elapsed().as_micros() as f64 / waves as f64;
+
+    OverheadReport {
+        clean_us,
+        training_us,
+        application_us,
+        model_build_us,
+    }
+}
+
+/// Runs the experiment for both workloads.
+pub fn run() {
+    heading("§5.3 — SmartFlux overhead");
+    println!("paper reference: per-task overhead ≈0%; model build < 1 s; overall negative");
+    let mut csv = Vec::new();
+    for wl in [Workload::Lrb, Workload::Aqhi] {
+        let r = measure(wl, 150);
+        println!(
+            "\n{}: clean {:.0} µs/wave; training {:.0} µs/wave ({} overhead); \
+             application {:.0} µs/wave ({}); model build {:.1} ms",
+            wl.id(),
+            r.clean_us,
+            r.training_us,
+            pct(r.training_overhead()),
+            r.application_us,
+            pct(r.application_overhead()),
+            r.model_build_us / 1000.0
+        );
+        csv.push(format!(
+            "{},{:.1},{:.1},{:.1},{:.1}",
+            wl.id(),
+            r.clean_us,
+            r.training_us,
+            r.application_us,
+            r.model_build_us
+        ));
+    }
+    write_csv(
+        "overhead_summary.csv",
+        "workload,clean_us_per_wave,training_us_per_wave,application_us_per_wave,model_build_us",
+        &csv,
+    );
+
+    // The benchmark workloads' steps complete in microseconds, so the
+    // constant ~2 ms/wave of monitoring shows up as a large relative
+    // number. Against realistically-sized tasks — the paper's are
+    // MapReduce jobs taking minutes — the same constant cost vanishes:
+    println!(
+        "
+per-task overhead vs synthetic heavy steps (paper's ≈0% claim):"
+    );
+    let mut heavy_csv = Vec::new();
+    for work_ms in [5u64, 25, 100] {
+        let overhead = heavy_task_overhead(Duration::from_millis(work_ms), 20);
+        println!(
+            "  steps of {work_ms:>4} ms: {:>6} overhead",
+            pct(overhead.max(0.0))
+        );
+        heavy_csv.push(format!("{work_ms},{:.4}", overhead.max(0.0)));
+    }
+    write_csv(
+        "overhead_heavy_tasks.csv",
+        "step_ms,relative_overhead",
+        &heavy_csv,
+    );
+}

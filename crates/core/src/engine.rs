@@ -1,0 +1,635 @@
+//! The QoD Engine: SmartFlux's decision core.
+//!
+//! The engine implements the paper's two operating modes (§4.1):
+//!
+//! - **training mode** — the workflow runs synchronously while the engine
+//!   computes, per wave and per QoD step, the input impact `ι` and the
+//!   *simulated* output error `ε` (what the error would be had the step been
+//!   skipped since its last *virtual* execution), appending
+//!   `(ι, ε > maxε)` examples to the [`KnowledgeBase`]; when enough waves
+//!   were observed it builds a classification model and assesses it with
+//!   cross-validation (the test phase), extending training if quality gates
+//!   fail;
+//! - **execution (application) mode** — at each step's scheduling point the
+//!   engine computes the current impact vector, queries the [`Predictor`],
+//!   and triggers the step only when the model predicts its error bound
+//!   would otherwise be exceeded.
+//!
+//! The engine plugs into the WMS as a [`TriggerPolicy`] (the paper's "WMS
+//! Adaptation" + notification scheme).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smartflux_datastore::{ContainerRef, DataStore, Snapshot};
+use smartflux_wms::{StepId, TriggerPolicy, Workflow};
+
+use crate::config::EngineConfig;
+use crate::error::CoreError;
+use crate::knowledge::KnowledgeBase;
+use crate::metric::MetricContext;
+use crate::monitoring::Monitor;
+use crate::predictor::Predictor;
+use crate::qod::{AccumulationMode, ErrorBound, QodSpec};
+
+/// Which mode the engine is operating in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Synchronous execution while collecting training examples; the value
+    /// is the wave at which training is scheduled to end.
+    Training {
+        /// Last training wave (inclusive).
+        until_wave: u64,
+    },
+    /// Adaptive execution driven by the trained predictor.
+    Application,
+}
+
+/// Per-wave record of what the engine observed and decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveDiagnostics {
+    /// Wave number.
+    pub wave: u64,
+    /// Input impact per QoD step (step order = [`QodEngine::qod_step_names`]).
+    pub impacts: Vec<f64>,
+    /// Simulated output error per QoD step. Only populated on training
+    /// waves (the application phase cannot observe true errors); this is
+    /// the data behind the paper's ι-vs-ε correlation plots (Fig. 7).
+    pub errors: Vec<f64>,
+    /// Decision per QoD step (`true` = executed).
+    pub decisions: Vec<bool>,
+    /// Whether this wave ran in training mode.
+    pub training: bool,
+}
+
+/// State tracked per input container of a QoD step.
+#[derive(Debug, Clone)]
+struct InputTracker {
+    container: ContainerRef,
+    /// Container state at the step's last (virtual or actual) execution.
+    baseline: Snapshot,
+    /// Container state at the end of the previous wave (Accumulate mode).
+    prev_wave: Snapshot,
+    /// Impact accumulated since the last execution (Accumulate mode).
+    accumulated: f64,
+    /// Memoised impact tagged with the container's cumulative write count
+    /// at computation time; any further write invalidates it. Backed by the
+    /// Monitoring component's counters.
+    cached_impact: Option<(u64, f64)>,
+}
+
+/// State tracked per output container of a QoD step (training mode).
+#[derive(Debug, Clone)]
+struct OutputTracker {
+    container: ContainerRef,
+    /// Output state at the step's last virtual execution.
+    baseline: Snapshot,
+    /// Output state at the end of the previous wave (Accumulate mode).
+    prev_wave: Snapshot,
+    /// Error accumulated since the last virtual execution (Accumulate mode).
+    accumulated: f64,
+}
+
+/// Everything the engine tracks for one QoD-managed step.
+struct QodStepState {
+    name: String,
+    bound: ErrorBound,
+    spec: QodSpec,
+    inputs: Vec<InputTracker>,
+    outputs: Vec<OutputTracker>,
+}
+
+fn snapshot_sum(s: &Snapshot) -> f64 {
+    s.iter().filter_map(|(_, v)| v.as_f64()).sum()
+}
+
+/// The QoD Engine. Usually driven through [`SmartFluxSession`]; constructed
+/// directly only for fine-grained control.
+///
+/// [`SmartFluxSession`]: crate::SmartFluxSession
+pub struct QodEngine {
+    store: DataStore,
+    config: EngineConfig,
+    steps: Vec<QodStepState>,
+    index_of: HashMap<StepId, usize>,
+    phase: Phase,
+    kb: KnowledgeBase,
+    predictor: Predictor,
+    monitor: Monitor,
+    /// Latest computed impact per QoD step (the classifier feature vector).
+    current_impacts: Vec<f64>,
+    /// Decisions of the current wave (diagnostics).
+    current_decisions: Vec<bool>,
+    diagnostics: Vec<WaveDiagnostics>,
+    training_extensions_used: usize,
+    quality_met: bool,
+    /// Application waves run since the last (re)training, for the periodic
+    /// retraining schedule.
+    application_waves_since_training: u64,
+}
+
+impl QodEngine {
+    /// Builds an engine for `workflow`, reading each step's error bound and
+    /// container annotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoQodSteps`] if no step declares an error bound.
+    pub fn from_workflow(
+        workflow: &Workflow,
+        store: DataStore,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let qod_ids = workflow.qod_steps();
+        if qod_ids.is_empty() {
+            return Err(CoreError::NoQodSteps);
+        }
+
+        // Guard against typos: every per-step override must name a step
+        // that exists in the workflow.
+        for name in config.per_step_specs.keys() {
+            if workflow.graph().step_id(name).is_none() {
+                return Err(CoreError::UnknownStep(name.clone()));
+            }
+        }
+
+        let monitor = Monitor::new();
+        let mut steps = Vec::with_capacity(qod_ids.len());
+        let mut index_of = HashMap::new();
+        for (idx, &id) in qod_ids.iter().enumerate() {
+            let info = workflow.info(id);
+            let name = workflow.graph().step_name(id).to_owned();
+            let bound = ErrorBound::new(
+                info.error_bound()
+                    .expect("qod_steps only returns bounded steps"),
+            )
+            .expect("workflow validated the bound range");
+            let spec = config
+                .per_step_specs
+                .get(&name)
+                .cloned()
+                .unwrap_or_else(|| config.default_spec.clone());
+            let inputs = info
+                .inputs()
+                .iter()
+                .map(|c| {
+                    monitor.watch(c.clone());
+                    InputTracker {
+                        container: c.clone(),
+                        baseline: Snapshot::new(),
+                        prev_wave: Snapshot::new(),
+                        accumulated: 0.0,
+                        cached_impact: None,
+                    }
+                })
+                .collect();
+            let outputs = info
+                .outputs()
+                .iter()
+                .map(|c| {
+                    monitor.watch(c.clone());
+                    OutputTracker {
+                        container: c.clone(),
+                        baseline: Snapshot::new(),
+                        prev_wave: Snapshot::new(),
+                        accumulated: 0.0,
+                    }
+                })
+                .collect();
+            steps.push(QodStepState {
+                name: name.clone(),
+                bound,
+                spec,
+                inputs,
+                outputs,
+            });
+            index_of.insert(id, idx);
+        }
+        monitor.attach(&store);
+
+        let step_names: Vec<String> = steps.iter().map(|s| s.name.clone()).collect();
+        let mut predictor = Predictor::new(config.model.clone(), config.seed);
+        let n = steps.len();
+
+        // A training set given beforehand (§3.2) lets the engine start in
+        // the application phase directly.
+        let mut phase = Phase::Training {
+            until_wave: config.training_waves as u64,
+        };
+        let mut quality_met = false;
+        let kb = if let Some(initial) = config.initial_knowledge.clone() {
+            if initial.step_names() != step_names.as_slice() {
+                return Err(CoreError::ShapeMismatch {
+                    expected: step_names.len(),
+                    found: initial.step_names().len(),
+                });
+            }
+            let quality = predictor.train(&initial)?;
+            quality_met =
+                quality.accuracy >= config.min_accuracy && quality.recall >= config.min_recall;
+            phase = Phase::Application;
+            initial
+        } else {
+            KnowledgeBase::new(step_names)
+        };
+
+        Ok(Self {
+            store,
+            config,
+            steps,
+            index_of,
+            phase,
+            kb,
+            predictor,
+            monitor,
+            current_impacts: vec![0.0; n],
+            current_decisions: vec![true; n],
+            diagnostics: Vec::new(),
+            training_extensions_used: 0,
+            quality_met,
+            application_waves_since_training: 0,
+        })
+    }
+
+    /// The engine's current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Names of the QoD-managed steps, in feature/label order.
+    #[must_use]
+    pub fn qod_step_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The accumulated training log.
+    #[must_use]
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The predictor (trained after the training phase completes).
+    #[must_use]
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// The monitoring component.
+    #[must_use]
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Per-wave diagnostics collected so far.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[WaveDiagnostics] {
+        &self.diagnostics
+    }
+
+    /// Whether the test-phase quality gates were met when the model was
+    /// (last) built.
+    #[must_use]
+    pub fn quality_met(&self) -> bool {
+        self.quality_met
+    }
+
+    /// Requests a fresh training phase of `waves` waves starting at the next
+    /// wave — the paper's on-demand retraining "useful if data patterns
+    /// start to change suddenly".
+    pub fn request_training(&mut self, next_wave: u64, waves: usize) {
+        self.kb.clear();
+        self.training_extensions_used = 0;
+        self.application_waves_since_training = 0;
+        self.phase = Phase::Training {
+            until_wave: next_wave + waves as u64 - 1,
+        };
+    }
+
+    /// Computes the current input impact of QoD step `idx` (combined across
+    /// its input containers).
+    ///
+    /// Containers the Monitoring component reports untouched this wave
+    /// reuse their memoised impact — neither the current state nor the
+    /// baseline can have moved, so the recomputation is skipped (§4's
+    /// Monitoring exists precisely to make this cheap).
+    fn compute_impact(&mut self, idx: usize) -> f64 {
+        let spec = self.steps[idx].spec.clone();
+        let monitor = self.monitor.clone();
+        let mut per_container = Vec::with_capacity(self.steps[idx].inputs.len());
+        for tracker in &mut self.steps[idx].inputs {
+            let writes_now = monitor.total_writes(&tracker.container);
+            if let Some((writes_at_cache, cached)) = tracker.cached_impact {
+                if writes_at_cache == writes_now {
+                    per_container.push(cached);
+                    continue;
+                }
+            }
+            let current = self.store.snapshot(&tracker.container).unwrap_or_default();
+            let value = match spec.mode {
+                AccumulationMode::Cancel => {
+                    let diff = current.diff(&tracker.baseline);
+                    let ctx = MetricContext::new(
+                        current.len().max(tracker.baseline.len()),
+                        snapshot_sum(&tracker.baseline),
+                    );
+                    spec.impact.evaluate(&diff, &ctx)
+                }
+                AccumulationMode::Accumulate => {
+                    let diff = current.diff(&tracker.prev_wave);
+                    let ctx = MetricContext::new(
+                        current.len().max(tracker.prev_wave.len()),
+                        snapshot_sum(&tracker.prev_wave),
+                    );
+                    tracker.accumulated + spec.impact.evaluate(&diff, &ctx)
+                }
+            };
+            tracker.cached_impact = Some((writes_now, value));
+            per_container.push(value);
+        }
+        spec.combiner.combine(&per_container)
+    }
+
+    /// Computes the simulated output error of QoD step `idx` against its
+    /// virtual baseline (training mode).
+    fn compute_error(&mut self, idx: usize) -> f64 {
+        let spec = self.steps[idx].spec.clone();
+        let mut worst: f64 = 0.0;
+        for tracker in &mut self.steps[idx].outputs {
+            let current = self.store.snapshot(&tracker.container).unwrap_or_default();
+            let value = match spec.mode {
+                AccumulationMode::Cancel => {
+                    let diff = current.diff(&tracker.baseline);
+                    let ctx = MetricContext::new(
+                        current.len().max(tracker.baseline.len()),
+                        snapshot_sum(&tracker.baseline),
+                    );
+                    spec.error.evaluate(&diff, &ctx)
+                }
+                AccumulationMode::Accumulate => {
+                    let diff = current.diff(&tracker.prev_wave);
+                    let ctx = MetricContext::new(
+                        current.len().max(tracker.prev_wave.len()),
+                        snapshot_sum(&tracker.prev_wave),
+                    );
+                    tracker.accumulated + spec.error.evaluate(&diff, &ctx)
+                }
+            };
+            worst = worst.max(value);
+        }
+        worst
+    }
+
+    /// Resets step `idx`'s input baselines to the current container state
+    /// (called when the step executes, actually or virtually).
+    fn reset_input_baselines(&mut self, idx: usize) {
+        for tracker in &mut self.steps[idx].inputs {
+            tracker.baseline = self.store.snapshot(&tracker.container).unwrap_or_default();
+            tracker.accumulated = 0.0;
+            tracker.cached_impact = None;
+        }
+    }
+
+    /// Resets step `idx`'s output baselines (training mode virtual
+    /// execution).
+    fn reset_output_baselines(&mut self, idx: usize) {
+        for tracker in &mut self.steps[idx].outputs {
+            tracker.baseline = self.store.snapshot(&tracker.container).unwrap_or_default();
+            tracker.accumulated = 0.0;
+        }
+    }
+
+    /// Rolls the per-wave snapshots forward (Accumulate-mode bookkeeping).
+    fn roll_wave_snapshots(&mut self) {
+        for idx in 0..self.steps.len() {
+            let spec_mode = self.steps[idx].spec.mode;
+            if spec_mode != AccumulationMode::Accumulate {
+                continue;
+            }
+            let impact_kind = self.steps[idx].spec.impact.clone();
+            let error_kind = self.steps[idx].spec.error.clone();
+            for tracker in &mut self.steps[idx].inputs {
+                let current = self.store.snapshot(&tracker.container).unwrap_or_default();
+                let diff = current.diff(&tracker.prev_wave);
+                let ctx = MetricContext::new(
+                    current.len().max(tracker.prev_wave.len()),
+                    snapshot_sum(&tracker.prev_wave),
+                );
+                tracker.accumulated += impact_kind.evaluate(&diff, &ctx);
+                tracker.prev_wave = current;
+                tracker.cached_impact = None;
+            }
+            for tracker in &mut self.steps[idx].outputs {
+                let current = self.store.snapshot(&tracker.container).unwrap_or_default();
+                let diff = current.diff(&tracker.prev_wave);
+                let ctx = MetricContext::new(
+                    current.len().max(tracker.prev_wave.len()),
+                    snapshot_sum(&tracker.prev_wave),
+                );
+                tracker.accumulated += error_kind.evaluate(&diff, &ctx);
+                tracker.prev_wave = current;
+            }
+        }
+    }
+
+    /// Ends a training wave: record the example and, at the end of the
+    /// training window, build and assess the model.
+    fn end_training_wave(&mut self, wave: u64, until_wave: u64) {
+        // Features: impact vs virtual baselines, computed before any reset.
+        let impacts: Vec<f64> = (0..self.steps.len())
+            .map(|i| self.compute_impact(i))
+            .collect();
+        let errors: Vec<f64> = (0..self.steps.len())
+            .map(|i| self.compute_error(i))
+            .collect();
+        let labels: Vec<bool> = errors
+            .iter()
+            .zip(&self.steps)
+            .map(|(e, s)| s.bound.is_violated_by(*e))
+            .collect();
+
+        self.kb
+            .append(wave, impacts.clone(), labels.clone())
+            .expect("kb schema matches steps");
+
+        // Virtual executions: reset baselines where the bound fired.
+        for (idx, fired) in labels.iter().enumerate() {
+            if *fired {
+                self.reset_input_baselines(idx);
+                self.reset_output_baselines(idx);
+            }
+        }
+
+        self.diagnostics.push(WaveDiagnostics {
+            wave,
+            impacts,
+            errors,
+            decisions: labels,
+            training: true,
+        });
+
+        if wave >= until_wave {
+            self.finish_training(wave);
+        }
+    }
+
+    /// Builds the model, runs the test phase, and either enters the
+    /// application phase or extends training.
+    fn finish_training(&mut self, wave: u64) {
+        match self.predictor.train(&self.kb) {
+            Ok(quality) => {
+                let gates_met = quality.accuracy >= self.config.min_accuracy
+                    && quality.recall >= self.config.min_recall;
+                if gates_met || self.training_extensions_used >= self.config.max_training_extensions
+                {
+                    self.quality_met = gates_met;
+                    self.phase = Phase::Application;
+                    // Actual baselines: every step just executed (training is
+                    // synchronous), so impacts restart from the current state.
+                    for idx in 0..self.steps.len() {
+                        self.reset_input_baselines(idx);
+                    }
+                } else {
+                    self.training_extensions_used += 1;
+                    self.phase = Phase::Training {
+                        until_wave: wave + self.config.extension_waves as u64,
+                    };
+                }
+            }
+            Err(_) => {
+                // Not enough data yet — keep training.
+                self.training_extensions_used += 1;
+                self.phase = Phase::Training {
+                    until_wave: wave + self.config.extension_waves as u64,
+                };
+            }
+        }
+    }
+}
+
+impl TriggerPolicy for QodEngine {
+    fn begin_wave(&mut self, _wave: u64, _workflow: &Workflow) {
+        self.monitor.begin_wave();
+        let n = self.steps.len();
+        self.current_decisions = vec![false; n];
+    }
+
+    fn should_trigger(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) -> bool {
+        let Some(&idx) = self.index_of.get(&step) else {
+            // Steps without QoD bounds execute synchronously.
+            return true;
+        };
+        match self.phase {
+            Phase::Training { .. } => {
+                self.current_decisions[idx] = true;
+                true
+            }
+            Phase::Application => {
+                self.current_impacts[idx] = self.compute_impact(idx);
+                let features = self.current_impacts.clone();
+                let decision = self.predictor.predict_step(idx, &features).unwrap_or(true); // fail safe: execute
+                self.current_decisions[idx] = decision;
+                decision
+            }
+        }
+    }
+
+    fn step_completed(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) {
+        if self.phase == Phase::Application {
+            if let Some(&idx) = self.index_of.get(&step) {
+                // The step ran: its input impact restarts from here.
+                self.reset_input_baselines(idx);
+            }
+        }
+    }
+
+    fn end_wave(&mut self, wave: u64, _workflow: &Workflow) {
+        match self.phase {
+            Phase::Training { until_wave } => {
+                self.end_training_wave(wave, until_wave);
+                self.roll_wave_snapshots();
+            }
+            Phase::Application => {
+                self.roll_wave_snapshots();
+                self.diagnostics.push(WaveDiagnostics {
+                    wave,
+                    impacts: self.current_impacts.clone(),
+                    errors: Vec::new(),
+                    decisions: self.current_decisions.clone(),
+                    training: false,
+                });
+                self.application_waves_since_training += 1;
+                if let Some(interval) = self.config.retraining_interval {
+                    if self.application_waves_since_training >= interval {
+                        // §3.1: retrain "regularly from time to time".
+                        self.request_training(wave + 1, self.config.training_waves);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QodEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QodEngine")
+            .field("phase", &self.phase)
+            .field("qod_steps", &self.steps.len())
+            .field("kb_rows", &self.kb.len())
+            .field("trained", &self.predictor.is_trained())
+            .finish()
+    }
+}
+
+/// A cheaply-cloneable [`TriggerPolicy`] adapter around a shared engine, so
+/// a session can keep introspecting the engine after handing the policy to
+/// the scheduler.
+#[derive(Clone)]
+pub struct SharedEngine(Arc<Mutex<QodEngine>>);
+
+impl SharedEngine {
+    /// Wraps an engine for shared access.
+    #[must_use]
+    pub fn new(engine: QodEngine) -> Self {
+        Self(Arc::new(Mutex::new(engine)))
+    }
+
+    /// Runs `f` with the engine locked.
+    pub fn with<R>(&self, f: impl FnOnce(&QodEngine) -> R) -> R {
+        f(&self.0.lock())
+    }
+
+    /// Runs `f` with the engine locked mutably.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut QodEngine) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+impl TriggerPolicy for SharedEngine {
+    fn begin_wave(&mut self, wave: u64, workflow: &Workflow) {
+        self.0.lock().begin_wave(wave, workflow);
+    }
+
+    fn should_trigger(&mut self, wave: u64, step: StepId, workflow: &Workflow) -> bool {
+        self.0.lock().should_trigger(wave, step, workflow)
+    }
+
+    fn step_completed(&mut self, wave: u64, step: StepId, workflow: &Workflow) {
+        self.0.lock().step_completed(wave, step, workflow);
+    }
+
+    fn step_skipped(&mut self, wave: u64, step: StepId, workflow: &Workflow) {
+        self.0.lock().step_skipped(wave, step, workflow);
+    }
+
+    fn end_wave(&mut self, wave: u64, workflow: &Workflow) {
+        self.0.lock().end_wave(wave, workflow);
+    }
+}
+
+impl std::fmt::Debug for SharedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.lock().fmt(f)
+    }
+}

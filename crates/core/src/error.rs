@@ -1,0 +1,146 @@
+//! Core error types.
+
+use std::error::Error;
+use std::fmt;
+
+use smartflux_datastore::StoreError;
+use smartflux_ml::MlError;
+use smartflux_wms::WmsError;
+
+/// Errors raised by the SmartFlux middleware.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A vector did not match the number of QoD-managed steps.
+    ShapeMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+    /// Not enough training examples were collected.
+    InsufficientTraining {
+        /// Examples available.
+        have: usize,
+        /// Examples required.
+        need: usize,
+    },
+    /// The trained model failed the test-phase quality gates even after the
+    /// allowed training extensions.
+    QualityGateFailed {
+        /// Achieved accuracy.
+        accuracy: f64,
+        /// Achieved recall.
+        recall: f64,
+        /// Required accuracy.
+        min_accuracy: f64,
+        /// Required recall.
+        min_recall: f64,
+    },
+    /// An operation required a trained predictor but none exists yet.
+    NotTrained,
+    /// A data-store operation failed.
+    Store(StoreError),
+    /// A workflow execution failed.
+    Workflow(WmsError),
+    /// A machine-learning operation failed.
+    Ml(MlError),
+    /// The workflow has no QoD-managed steps, so there is nothing to adapt.
+    NoQodSteps,
+    /// A configuration referenced a step name the workflow does not have.
+    UnknownStep(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, found } => {
+                write!(f, "expected {expected} per-step values, got {found}")
+            }
+            CoreError::InsufficientTraining { have, need } => {
+                write!(
+                    f,
+                    "insufficient training examples: have {have}, need {need}"
+                )
+            }
+            CoreError::QualityGateFailed {
+                accuracy,
+                recall,
+                min_accuracy,
+                min_recall,
+            } => write!(
+                f,
+                "model quality below gates: accuracy {accuracy:.3} (min {min_accuracy:.3}), \
+                 recall {recall:.3} (min {min_recall:.3})"
+            ),
+            CoreError::NotTrained => f.write_str("predictor has not been trained"),
+            CoreError::Store(e) => write!(f, "data store error: {e}"),
+            CoreError::Workflow(e) => write!(f, "workflow execution failed: {e}"),
+            CoreError::Ml(e) => write!(f, "machine learning error: {e}"),
+            CoreError::NoQodSteps => f.write_str("workflow declares no QoD-managed steps"),
+            CoreError::UnknownStep(name) => {
+                write!(f, "configuration references unknown step `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            CoreError::Workflow(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<WmsError> for CoreError {
+    fn from(e: WmsError) -> Self {
+        CoreError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::NotTrained
+            .to_string()
+            .contains("not been trained"));
+        assert!(CoreError::ShapeMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("expected 3"));
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        let e = CoreError::from(StoreError::TableNotFound("x".into()));
+        assert!(e.source().is_some());
+        let e = CoreError::from(MlError::EmptyDataset);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,540 @@
+//! The twin-run evaluation harness.
+//!
+//! The paper's figures compare an adaptive run against the synchronous
+//! ground truth: measured errors (Fig. 9), confidence levels (Fig. 10–11)
+//! and executions (Fig. 12). This module reproduces that methodology: it
+//! runs the *same seeded workload* twice — once under the policy being
+//! evaluated and once fully synchronously — and measures, wave by wave, how
+//! far the adaptive run's output drifted from the truth.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smartflux_datastore::{ContainerRef, DataStore, Snapshot};
+use smartflux_wms::{Scheduler, StepId, SynchronousPolicy, TriggerPolicy, Workflow};
+
+use crate::confidence::ConfidenceTracker;
+use crate::config::EngineConfig;
+use crate::engine::{QodEngine, SharedEngine};
+use crate::error::CoreError;
+use crate::metric::{MetricContext, MetricKind};
+use crate::policy::{EveryNPolicy, RandomSkipPolicy};
+use crate::qod::ErrorBound;
+
+/// Builds identical, deterministic workflow instances over any store.
+///
+/// Implementations must guarantee that two workflows built by the same
+/// factory produce identical container contents when executed synchronously
+/// over the same waves — i.e. the feed is a pure function of the wave
+/// number and the factory's seed. This is what makes the twin-run
+/// comparison meaningful.
+pub trait WorkloadFactory {
+    /// Creates containers on `store` and returns the bound workflow.
+    fn build(&self, store: &DataStore) -> Workflow;
+
+    /// Name of the step whose output containers constitute the *workflow
+    /// output* (the paper's last processing step).
+    fn output_step(&self) -> &str;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Which trigger policy an evaluation run uses.
+#[derive(Debug, Clone)]
+pub enum EvalPolicy {
+    /// The synchronous data-flow baseline (every step, every wave).
+    Sync,
+    /// Coin-flip skipping (the paper's `random`).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Execute every `n`-th wave (the paper's `seqX`).
+    EveryN {
+        /// The period.
+        n: u64,
+    },
+    /// The perfect predictor: skips exactly while the true error stays
+    /// within the bound (upper bound on savings, Fig. 12 "optimal").
+    Oracle,
+    /// SmartFlux: training phase, test phase, then adaptive execution.
+    ///
+    /// Boxed: an [`EngineConfig`] is an order of magnitude larger than the
+    /// other variants.
+    SmartFlux(Box<EngineConfig>),
+}
+
+/// Per-wave measurements of an evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveRecord {
+    /// Wave number.
+    pub wave: u64,
+    /// True output deviation: adaptive output vs synchronous output.
+    pub measured_error: f64,
+    /// The error implied by the policy's skip schedule (resets to zero on
+    /// each execution of the output step).
+    pub predicted_error: f64,
+    /// Whether the measured error respected the output step's bound.
+    pub compliant: bool,
+    /// Whether the adaptive run executed the output step this wave.
+    pub executed_output: bool,
+    /// Executions of policy-managed (bounded, non-always-run) steps.
+    pub managed_executions: u64,
+    /// Skips of policy-managed steps.
+    pub managed_skips: u64,
+}
+
+/// The outcome of one evaluation run.
+#[derive(Debug)]
+pub struct EvalReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy description.
+    pub policy: String,
+    /// Per-wave records, for application waves only (training waves of a
+    /// SmartFlux run are reported separately via the engine diagnostics).
+    pub waves: Vec<WaveRecord>,
+    /// Confidence tracker over the application waves.
+    pub confidence: ConfidenceTracker,
+    /// The engine, for SmartFlux runs (training diagnostics, knowledge
+    /// base, predictor quality).
+    pub engine: Option<SharedEngine>,
+}
+
+impl EvalReport {
+    /// Total managed-step executions over the recorded waves.
+    #[must_use]
+    pub fn total_managed_executions(&self) -> u64 {
+        self.waves.iter().map(|w| w.managed_executions).sum()
+    }
+
+    /// Total managed-step skips over the recorded waves.
+    #[must_use]
+    pub fn total_managed_skips(&self) -> u64 {
+        self.waves.iter().map(|w| w.managed_skips).sum()
+    }
+
+    /// Executions over (executions + skips) of managed steps — the paper's
+    /// normalised executions relative to the synchronous model.
+    #[must_use]
+    pub fn normalized_executions(&self) -> f64 {
+        let e = self.total_managed_executions() as f64;
+        let s = self.total_managed_skips() as f64;
+        if e + s == 0.0 {
+            1.0
+        } else {
+            e / (e + s)
+        }
+    }
+
+    /// Cumulative normalised executions per wave (Fig. 12 a/c series).
+    #[must_use]
+    pub fn normalized_executions_series(&self) -> Vec<f64> {
+        let mut exec = 0.0;
+        let mut total = 0.0;
+        self.waves
+            .iter()
+            .map(|w| {
+                exec += w.managed_executions as f64;
+                total += (w.managed_executions + w.managed_skips) as f64;
+                if total == 0.0 {
+                    1.0
+                } else {
+                    exec / total
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of waves where the bound was violated.
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        if self.waves.is_empty() {
+            return 0.0;
+        }
+        self.waves.iter().filter(|w| !w.compliant).count() as f64 / self.waves.len() as f64
+    }
+}
+
+/// The oracle policy: consults the synchronous twin for the true error a
+/// skip would leave in each bounded step's output, and executes exactly
+/// when the bound would be violated.
+struct OraclePolicy {
+    sync_store: DataStore,
+    adapt_store: DataStore,
+    metric: MetricKind,
+    /// Per managed step: its bound and output containers.
+    targets: HashMap<StepId, (ErrorBound, Vec<ContainerRef>)>,
+}
+
+impl TriggerPolicy for OraclePolicy {
+    fn should_trigger(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) -> bool {
+        let Some((bound, outputs)) = self.targets.get(&step) else {
+            return true;
+        };
+        let err = measure_divergence(&self.sync_store, &self.adapt_store, outputs, &self.metric);
+        bound.is_violated_by(err)
+    }
+}
+
+/// Measures how far `adapt_store`'s version of `containers` diverges from
+/// `sync_store`'s, using `metric`.
+fn measure_divergence(
+    sync_store: &DataStore,
+    adapt_store: &DataStore,
+    containers: &[ContainerRef],
+    metric: &MetricKind,
+) -> f64 {
+    let mut worst: f64 = 0.0;
+    for c in containers {
+        let truth = sync_store.snapshot(c).unwrap_or_default();
+        let stale = adapt_store.snapshot(c).unwrap_or_default();
+        let diff = truth.diff(&stale);
+        let ctx = MetricContext::new(
+            truth.len().max(stale.len()),
+            stale.iter().filter_map(|(_, v)| v.as_f64()).sum(),
+        );
+        worst = worst.max(metric.evaluate(&diff, &ctx));
+    }
+    worst
+}
+
+/// Sample Pearson correlation coefficient `r` between two series
+/// (the statistic of Fig. 7).
+///
+/// Returns 0.0 for degenerate inputs (fewer than two points or zero
+/// variance).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Runs the twin-run evaluation of `policy` over `factory`'s workload.
+///
+/// `waves` counts *application* waves for SmartFlux runs (the training
+/// phase runs beforehand on both twins) and total waves otherwise.
+///
+/// # Errors
+///
+/// Propagates workflow execution failures.
+///
+/// # Panics
+///
+/// Panics if the factory's output step does not exist or carries no error
+/// bound.
+pub fn evaluate<F: WorkloadFactory>(
+    factory: &F,
+    policy: EvalPolicy,
+    waves: u64,
+    measure_metric: MetricKind,
+) -> Result<EvalReport, CoreError> {
+    let sync_store = DataStore::new();
+    let sync_wf = factory.build(&sync_store);
+    let mut sync_sched = Scheduler::new(sync_wf, sync_store.clone(), Box::new(SynchronousPolicy));
+
+    let adapt_store = DataStore::new();
+    let adapt_wf = factory.build(&adapt_store);
+
+    let output_step = adapt_wf
+        .graph()
+        .step_id(factory.output_step())
+        .expect("output step must exist in the workflow");
+    let output_bound = ErrorBound::new(
+        adapt_wf
+            .info(output_step)
+            .error_bound()
+            .expect("output step must carry an error bound"),
+    )
+    .expect("bound validated by workflow");
+    let output_containers: Vec<ContainerRef> = adapt_wf.info(output_step).outputs().to_vec();
+
+    // Managed steps: bounded and not always-run.
+    let managed: Vec<StepId> = adapt_wf
+        .qod_steps()
+        .into_iter()
+        .filter(|&id| !adapt_wf.info(id).always_run())
+        .collect();
+
+    let mut engine_handle = None;
+    let mut training_waves = 0u64;
+    let (policy_name, trigger): (String, Box<dyn TriggerPolicy>) = match &policy {
+        EvalPolicy::Sync => ("sync".into(), Box::new(SynchronousPolicy)),
+        EvalPolicy::Random { seed } => ("random".into(), Box::new(RandomSkipPolicy::new(*seed))),
+        EvalPolicy::EveryN { n } => (format!("seq{n}"), Box::new(EveryNPolicy::new(*n))),
+        EvalPolicy::Oracle => {
+            let mut targets = HashMap::new();
+            for &id in &managed {
+                let info = adapt_wf.info(id);
+                let bound = ErrorBound::new(info.error_bound().expect("managed steps are bounded"))
+                    .expect("bound validated");
+                targets.insert(id, (bound, info.outputs().to_vec()));
+            }
+            (
+                "optimal".into(),
+                Box::new(OraclePolicy {
+                    sync_store: sync_store.clone(),
+                    adapt_store: adapt_store.clone(),
+                    metric: measure_metric.clone(),
+                    targets,
+                }),
+            )
+        }
+        EvalPolicy::SmartFlux(config) => {
+            training_waves = config.training_waves as u64;
+            let engine =
+                QodEngine::from_workflow(&adapt_wf, adapt_store.clone(), (**config).clone())?;
+            let shared = SharedEngine::new(engine);
+            engine_handle = Some(shared.clone());
+            ("smartflux".into(), Box::new(shared))
+        }
+    };
+
+    let mut adapt_sched = Scheduler::new(adapt_wf, adapt_store.clone(), trigger);
+
+    // Training prologue for SmartFlux: run both twins synchronously. The
+    // engine flips itself to the application phase (possibly extending
+    // training first); we keep running until it does.
+    if let Some(engine) = engine_handle.as_ref() {
+        let mut prologue = 0u64;
+        let max_prologue = training_waves * 8 + 64;
+        while engine.with(|e| matches!(e.phase(), crate::engine::Phase::Training { .. })) {
+            sync_sched.run_wave()?;
+            adapt_sched.run_wave()?;
+            prologue += 1;
+            assert!(
+                prologue <= max_prologue,
+                "training did not converge within {max_prologue} waves"
+            );
+        }
+    }
+
+    // Shared baseline for the predicted-error series.
+    let predicted_baseline: Arc<Mutex<Snapshot>> = Arc::new(Mutex::new(
+        sync_store
+            .snapshot(&output_containers[0])
+            .unwrap_or_default(),
+    ));
+
+    let mut records = Vec::with_capacity(waves as usize);
+    let mut confidence = ConfidenceTracker::new();
+
+    for _ in 0..waves {
+        sync_sched.run_wave()?;
+        let outcome = adapt_sched.run_wave()?;
+
+        let measured = measure_divergence(
+            &sync_store,
+            &adapt_store,
+            &output_containers,
+            &measure_metric,
+        );
+        let executed_output = outcome.did_execute(output_step);
+
+        let predicted = {
+            let mut baseline = predicted_baseline.lock();
+            let truth = sync_store
+                .snapshot(&output_containers[0])
+                .unwrap_or_default();
+            if executed_output {
+                *baseline = truth;
+                0.0
+            } else {
+                let diff = truth.diff(&baseline);
+                let ctx = MetricContext::new(
+                    truth.len().max(baseline.len()),
+                    baseline.iter().filter_map(|(_, v)| v.as_f64()).sum(),
+                );
+                measure_metric.evaluate(&diff, &ctx)
+            }
+        };
+
+        let compliant = !output_bound.is_violated_by(measured);
+        confidence.record(compliant);
+
+        let managed_executions = managed
+            .iter()
+            .filter(|&&id| outcome.did_execute(id))
+            .count() as u64;
+        let managed_skips = managed
+            .iter()
+            .filter(|&&id| outcome.skipped.contains(&id))
+            .count() as u64;
+
+        records.push(WaveRecord {
+            wave: outcome.wave,
+            measured_error: measured,
+            predicted_error: predicted,
+            compliant,
+            executed_output,
+            managed_executions,
+            managed_skips,
+        });
+    }
+
+    Ok(EvalReport {
+        workload: factory.name().to_owned(),
+        policy: policy_name,
+        waves: records,
+        confidence,
+        engine: engine_handle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_datastore::Value;
+    use smartflux_wms::{FnStep, GraphBuilder, StepContext};
+
+    /// A tiny deterministic workload: a source writing a drifting value and
+    /// one bounded step copying it.
+    struct Ramp {
+        bound: f64,
+    }
+
+    impl WorkloadFactory for Ramp {
+        fn build(&self, store: &DataStore) -> Workflow {
+            let raw = ContainerRef::family("t", "raw");
+            let out = ContainerRef::family("t", "out");
+            store.ensure_container(&raw).unwrap();
+            store.ensure_container(&out).unwrap();
+
+            let mut g = GraphBuilder::new("ramp");
+            let feed = g.add_step("feed");
+            let copy = g.add_step("copy");
+            g.add_edge(feed, copy).unwrap();
+            let mut wf = Workflow::new(g.build().unwrap());
+            wf.bind(
+                feed,
+                FnStep::new(|ctx: &StepContext| {
+                    let w = ctx.wave() as f64;
+                    // Slow drift plus a small oscillation.
+                    let v = 100.0 + w + 3.0 * (w / 5.0).sin();
+                    ctx.put("t", "raw", "r", "v", Value::from(v))?;
+                    Ok(())
+                }),
+            )
+            .source()
+            .writes(raw.clone());
+            wf.bind(
+                copy,
+                FnStep::new(|ctx: &StepContext| {
+                    let v = ctx.get_f64("t", "raw", "r", "v", 0.0)?;
+                    ctx.put("t", "out", "r", "v", Value::from(v))?;
+                    Ok(())
+                }),
+            )
+            .reads(raw)
+            .writes(out)
+            .error_bound(self.bound);
+            wf
+        }
+
+        fn output_step(&self) -> &str {
+            "copy"
+        }
+
+        fn name(&self) -> &str {
+            "ramp"
+        }
+    }
+
+    #[test]
+    fn sync_policy_has_zero_error_and_full_executions() {
+        let report = evaluate(
+            &Ramp { bound: 0.05 },
+            EvalPolicy::Sync,
+            30,
+            MetricKind::RelativeError,
+        )
+        .unwrap();
+        assert!(report.waves.iter().all(|w| w.measured_error == 0.0));
+        assert!(report.waves.iter().all(|w| w.compliant));
+        assert_eq!(report.normalized_executions(), 1.0);
+        assert_eq!(report.confidence.confidence(), 1.0);
+    }
+
+    #[test]
+    fn seq_policy_skips_and_accumulates_error() {
+        let report = evaluate(
+            &Ramp { bound: 0.0 },
+            EvalPolicy::EveryN { n: 3 },
+            30,
+            MetricKind::RelativeError,
+        )
+        .unwrap();
+        assert!((report.normalized_executions() - 1.0 / 3.0).abs() < 0.05);
+        // Skipped waves deviate from the synchronous truth.
+        assert!(report.waves.iter().any(|w| w.measured_error > 0.0));
+        assert!(report.violation_rate() > 0.0);
+    }
+
+    #[test]
+    fn oracle_never_violates_and_saves_something() {
+        let report = evaluate(
+            &Ramp { bound: 0.05 },
+            EvalPolicy::Oracle,
+            40,
+            MetricKind::RelativeError,
+        )
+        .unwrap();
+        assert_eq!(report.violation_rate(), 0.0, "oracle must be perfect");
+        assert!(
+            report.normalized_executions() < 1.0,
+            "the drifting feed is slow enough to allow savings"
+        );
+    }
+
+    #[test]
+    fn smartflux_trains_then_adapts() {
+        let config = EngineConfig::new()
+            .with_training_waves(60)
+            .with_quality_gates(0.5, 0.5)
+            .with_seed(9);
+        let report = evaluate(
+            &Ramp { bound: 0.05 },
+            EvalPolicy::SmartFlux(Box::new(config)),
+            40,
+            MetricKind::RelativeError,
+        )
+        .unwrap();
+        let engine = report.engine.as_ref().expect("smartflux run has an engine");
+        assert!(engine.with(|e| e.predictor().is_trained()));
+        assert!(engine.with(|e| e.knowledge_base().len() >= 60));
+        assert_eq!(report.waves.len(), 40);
+        // High compliance expected on this well-behaved feed.
+        assert!(report.confidence.confidence() > 0.8);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+}

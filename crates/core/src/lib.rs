@@ -1,0 +1,67 @@
+//! SmartFlux: QoD-driven adaptive execution of continuous, data-intensive
+//! workflows.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*Adaptive Execution of Continuous and Data-intensive Workflows with
+//! Machine Learning*, Middleware 2018): a middleware that sits between a
+//! workflow management system ([`smartflux_wms`]) and a columnar data store
+//! ([`smartflux_datastore`]) and decides, wave by wave, which processing
+//! steps are worth executing.
+//!
+//! # How it works
+//!
+//! 1. Steps declare **Quality-of-Data** bounds: a maximum tolerated output
+//!    error `maxε` ([`ErrorBound`]) attached to their container annotations.
+//! 2. The [`Monitor`] observes all store traffic; [`MetricFn`]
+//!    implementations quantify the **input impact** `ι` (Eq. 1–2) of new
+//!    data and the **output error** `ε` (Eq. 3–4) a skipped execution would
+//!    leave behind.
+//! 3. During a synchronous **training phase** the [`QodEngine`] collects
+//!    `(ι, ε > maxε)` examples in the [`KnowledgeBase`], then builds a
+//!    multi-label Random Forest [`Predictor`] and validates it with
+//!    cross-validation (the test phase).
+//! 4. In the **application phase** the engine triggers only the steps whose
+//!    error bound the model predicts would otherwise be violated — saving
+//!    resources while keeping the output within `maxε` with high
+//!    confidence ([`ConfidenceTracker`]).
+//!
+//! The easiest way in is [`SmartFluxSession`]; the [`eval`] module provides
+//! the paper's twin-run evaluation methodology (measured vs predicted
+//! errors, confidence levels, baseline policies, the oracle).
+//!
+//! # Example
+//!
+//! See [`SmartFluxSession`] for a complete training-then-adaptive run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod eval;
+
+mod confidence;
+mod config;
+mod engine;
+mod error;
+mod knowledge;
+mod metric;
+mod monitoring;
+mod policy;
+mod predictor;
+mod qod;
+mod session;
+
+pub use confidence::ConfidenceTracker;
+pub use config::EngineConfig;
+pub use engine::{Phase, QodEngine, SharedEngine, WaveDiagnostics};
+pub use error::CoreError;
+pub use knowledge::{KnowledgeBase, KnowledgeRow};
+pub use metric::{
+    MagnitudeImpact, MeanRelativeError, MetricContext, MetricFn, MetricKind, NetDriftImpact,
+    RelativeError, RelativeImpact, RmseError,
+};
+pub use monitoring::Monitor;
+pub use policy::{EveryNPolicy, RandomSkipPolicy};
+pub use predictor::{FeatureMode, ModelKind, Predictor, PredictorQuality};
+pub use qod::{AccumulationMode, ErrorBound, ImpactCombiner, QodSpec};
+pub use session::SmartFluxSession;

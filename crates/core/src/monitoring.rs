@@ -1,0 +1,229 @@
+//! The Monitoring component: observes data-store traffic per container.
+//!
+//! SmartFlux's Monitoring analyses "all requests directed to the data store"
+//! (§4). Here it registers as a [`WriteObserver`] on the store, attributes
+//! every mutation to the watched containers it falls in, and exposes
+//! per-wave dirtiness and write counts. The QoD engine uses dirtiness to
+//! avoid recomputing impacts for containers nothing touched.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smartflux_datastore::{ContainerRef, DataStore, ObserverHandle, WriteEvent, WriteObserver};
+
+#[derive(Debug, Default, Clone)]
+struct ContainerCounters {
+    writes_this_wave: u64,
+    total_writes: u64,
+    magnitude_this_wave: f64,
+}
+
+#[derive(Debug, Default)]
+struct MonitorState {
+    counters: HashMap<ContainerRef, ContainerCounters>,
+}
+
+/// Observes store mutations and attributes them to watched containers.
+///
+/// Cheaply cloneable; all clones share state. Register on a store with
+/// [`Monitor::attach`].
+///
+/// # Example
+///
+/// ```
+/// use smartflux::Monitor;
+/// use smartflux_datastore::{ContainerRef, DataStore, Value};
+///
+/// # fn main() -> Result<(), smartflux_datastore::StoreError> {
+/// let store = DataStore::new();
+/// let c = ContainerRef::family("t", "f");
+/// store.ensure_container(&c)?;
+///
+/// let monitor = Monitor::new();
+/// monitor.watch(c.clone());
+/// let _handle = monitor.attach(&store);
+///
+/// store.put("t", "f", "r", "q", Value::from(3.0))?;
+/// assert!(monitor.is_dirty(&c));
+/// assert_eq!(monitor.writes_this_wave(&c), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    state: Arc<Mutex<MonitorState>>,
+}
+
+impl Monitor {
+    /// Creates a monitor watching nothing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a container to the watch list. Watching the same container
+    /// twice is a no-op.
+    pub fn watch(&self, container: ContainerRef) {
+        self.state.lock().counters.entry(container).or_default();
+    }
+
+    /// Registers this monitor as an observer on `store`. Keep the returned
+    /// handle to unregister later.
+    pub fn attach(&self, store: &DataStore) -> ObserverHandle {
+        let observer: Arc<dyn WriteObserver> = Arc::new(self.clone());
+        store.register_observer(observer)
+    }
+
+    /// Marks the start of a new wave: per-wave counters reset, cumulative
+    /// ones are kept.
+    pub fn begin_wave(&self) {
+        let mut s = self.state.lock();
+        for c in s.counters.values_mut() {
+            c.writes_this_wave = 0;
+            c.magnitude_this_wave = 0.0;
+        }
+    }
+
+    /// Returns `true` if `container` received any write since the last
+    /// [`begin_wave`](Self::begin_wave).
+    #[must_use]
+    pub fn is_dirty(&self, container: &ContainerRef) -> bool {
+        self.state
+            .lock()
+            .counters
+            .get(container)
+            .is_some_and(|c| c.writes_this_wave > 0)
+    }
+
+    /// Writes observed for `container` in the current wave.
+    #[must_use]
+    pub fn writes_this_wave(&self, container: &ContainerRef) -> u64 {
+        self.state
+            .lock()
+            .counters
+            .get(container)
+            .map_or(0, |c| c.writes_this_wave)
+    }
+
+    /// Total writes observed for `container` since watching began.
+    #[must_use]
+    pub fn total_writes(&self, container: &ContainerRef) -> u64 {
+        self.state
+            .lock()
+            .counters
+            .get(container)
+            .map_or(0, |c| c.total_writes)
+    }
+
+    /// Sum of absolute change magnitudes observed for `container` in the
+    /// current wave (a cheap streaming signal; the engine's metric functions
+    /// compute the authoritative values from snapshots).
+    #[must_use]
+    pub fn magnitude_this_wave(&self, container: &ContainerRef) -> f64 {
+        self.state
+            .lock()
+            .counters
+            .get(container)
+            .map_or(0.0, |c| c.magnitude_this_wave)
+    }
+
+    /// All watched containers.
+    #[must_use]
+    pub fn watched(&self) -> Vec<ContainerRef> {
+        self.state.lock().counters.keys().cloned().collect()
+    }
+}
+
+impl WriteObserver for Monitor {
+    fn on_write(&self, event: &WriteEvent) {
+        let mut s = self.state.lock();
+        let magnitude = match (&event.old, &event.new) {
+            (Some(o), Some(n)) => n.abs_diff(o),
+            (None, Some(n)) => n.as_f64().map_or(1.0, f64::abs),
+            (Some(o), None) => o.as_f64().map_or(1.0, f64::abs),
+            (None, None) => 0.0,
+        };
+        for (container, counters) in &mut s.counters {
+            if container.matches_write(&event.table, &event.family, &event.qualifier) {
+                counters.writes_this_wave += 1;
+                counters.total_writes += 1;
+                counters.magnitude_this_wave += magnitude;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_datastore::Value;
+
+    fn setup() -> (DataStore, Monitor, ContainerRef) {
+        let store = DataStore::new();
+        let c = ContainerRef::family("t", "f");
+        store.ensure_container(&c).unwrap();
+        let m = Monitor::new();
+        m.watch(c.clone());
+        m.attach(&store);
+        (store, m, c)
+    }
+
+    #[test]
+    fn counts_writes_in_watched_container() {
+        let (store, m, c) = setup();
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        store.put("t", "f", "r", "q", Value::from(4.0)).unwrap();
+        assert_eq!(m.writes_this_wave(&c), 2);
+        assert_eq!(m.total_writes(&c), 2);
+        assert_eq!(m.magnitude_this_wave(&c), 1.0 + 3.0);
+    }
+
+    #[test]
+    fn wave_reset_keeps_totals() {
+        let (store, m, c) = setup();
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        m.begin_wave();
+        assert!(!m.is_dirty(&c));
+        assert_eq!(m.writes_this_wave(&c), 0);
+        assert_eq!(m.total_writes(&c), 1);
+    }
+
+    #[test]
+    fn unwatched_containers_are_ignored() {
+        let (store, m, _c) = setup();
+        store.create_family("t", "other").unwrap();
+        store.put("t", "other", "r", "q", Value::from(1.0)).unwrap();
+        let other = ContainerRef::family("t", "other");
+        assert_eq!(m.writes_this_wave(&other), 0);
+        assert_eq!(m.total_writes(&other), 0);
+    }
+
+    #[test]
+    fn column_container_matches_only_its_qualifier() {
+        let store = DataStore::new();
+        let col = ContainerRef::column("t", "f", "a");
+        store.ensure_container(&col).unwrap();
+        let m = Monitor::new();
+        m.watch(col.clone());
+        m.attach(&store);
+        store.put("t", "f", "r", "a", Value::from(1.0)).unwrap();
+        store.put("t", "f", "r", "b", Value::from(1.0)).unwrap();
+        assert_eq!(m.writes_this_wave(&col), 1);
+    }
+
+    #[test]
+    fn overlapping_containers_both_count() {
+        let store = DataStore::new();
+        let fam = ContainerRef::family("t", "f");
+        let col = ContainerRef::column("t", "f", "a");
+        store.ensure_container(&fam).unwrap();
+        let m = Monitor::new();
+        m.watch(fam.clone());
+        m.watch(col.clone());
+        m.attach(&store);
+        store.put("t", "f", "r", "a", Value::from(2.0)).unwrap();
+        assert_eq!(m.writes_this_wave(&fam), 1);
+        assert_eq!(m.writes_this_wave(&col), 1);
+    }
+}

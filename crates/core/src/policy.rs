@@ -1,0 +1,135 @@
+//! Baseline trigger policies (§5.2's "naive approaches").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use smartflux_wms::{StepId, TriggerPolicy, Workflow};
+
+/// Randomly skips policy-managed steps: executing or not executing a step on
+/// a given wave has equal probability (the paper's `random` baseline),
+/// generalised to an arbitrary execution probability.
+#[derive(Debug)]
+pub struct RandomSkipPolicy {
+    execute_probability: f64,
+    rng: StdRng,
+}
+
+impl RandomSkipPolicy {
+    /// The paper's coin-flip baseline.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_probability(0.5, seed)
+    }
+
+    /// Executes each step with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_probability(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        Self {
+            execute_probability: p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TriggerPolicy for RandomSkipPolicy {
+    fn should_trigger(&mut self, _wave: u64, _step: StepId, _workflow: &Workflow) -> bool {
+        self.rng.random::<f64>() < self.execute_probability
+    }
+}
+
+/// Executes policy-managed steps on every `n`-th wave (the paper's `seqX`
+/// baselines: seq2, seq3, seq5).
+///
+/// Wave 1 executes, then every `n` waves after: for `n = 2` the schedule is
+/// waves 1, 3, 5, …
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EveryNPolicy {
+    n: u64,
+}
+
+impl EveryNPolicy {
+    /// Executes on every `n`-th wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "period must be positive");
+        Self { n }
+    }
+
+    /// The period.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.n
+    }
+}
+
+impl TriggerPolicy for EveryNPolicy {
+    fn should_trigger(&mut self, wave: u64, _step: StepId, _workflow: &Workflow) -> bool {
+        (wave - 1).is_multiple_of(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_wms::GraphBuilder;
+
+    fn one_step_workflow() -> (Workflow, StepId) {
+        let mut b = GraphBuilder::new("w");
+        let s = b.add_step("s");
+        (Workflow::new(b.build().unwrap()), s)
+    }
+
+    #[test]
+    fn every_n_schedule() {
+        let (w, s) = one_step_workflow();
+        let mut p = EveryNPolicy::new(3);
+        let fired: Vec<u64> = (1..=9)
+            .filter(|&wave| p.should_trigger(wave, s, &w))
+            .collect();
+        assert_eq!(fired, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn every_one_is_synchronous() {
+        let (w, s) = one_step_workflow();
+        let mut p = EveryNPolicy::new(1);
+        assert!((1..=5).all(|wave| p.should_trigger(wave, s, &w)));
+    }
+
+    #[test]
+    fn random_policy_is_seeded_and_roughly_fair() {
+        let (w, s) = one_step_workflow();
+        let mut a = RandomSkipPolicy::new(7);
+        let mut b = RandomSkipPolicy::new(7);
+        let fired_a: Vec<bool> = (1..=100).map(|wv| a.should_trigger(wv, s, &w)).collect();
+        let fired_b: Vec<bool> = (1..=100).map(|wv| b.should_trigger(wv, s, &w)).collect();
+        assert_eq!(fired_a, fired_b);
+        let count = fired_a.iter().filter(|&&x| x).count();
+        assert!((30..=70).contains(&count), "biased coin: {count}");
+    }
+
+    #[test]
+    fn random_extremes() {
+        let (w, s) = one_step_workflow();
+        let mut never = RandomSkipPolicy::with_probability(0.0, 1);
+        let mut always = RandomSkipPolicy::with_probability(1.0, 1);
+        assert!((1..=20).all(|wv| !never.should_trigger(wv, s, &w)));
+        assert!((1..=20).all(|wv| always.should_trigger(wv, s, &w)));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = EveryNPolicy::new(0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Quality-of-Data specifications.
+
+use std::fmt;
+
+use crate::metric::MetricKind;
+
+/// A maximum tolerated output error `maxε`, validated to lie in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use smartflux::ErrorBound;
+///
+/// let b = ErrorBound::new(0.05).unwrap();
+/// assert_eq!(b.value(), 0.05);
+/// assert!(ErrorBound::new(1.5).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ErrorBound(f64);
+
+impl ErrorBound {
+    /// Validates and wraps a bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `value` is not finite or outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, String> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(format!("error bound must be within [0, 1], got {value}"))
+        }
+    }
+
+    /// The bound value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if `error` exceeds this bound.
+    #[must_use]
+    pub fn is_violated_by(self, error: f64) -> bool {
+        error > self.0
+    }
+}
+
+impl fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// How previous state is chosen when computing impacts and errors (§2.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AccumulationMode {
+    /// Compare against the container state at the step's latest execution.
+    /// Computations can cancel out: if a value returns to what it was, the
+    /// accumulated impact drops back toward zero.
+    #[default]
+    Cancel,
+    /// Accumulate the per-wave impacts measured since the step's latest
+    /// execution; changes never cancel.
+    Accumulate,
+}
+
+/// How per-input-container impacts combine into one step impact when a step
+/// has several predecessors (§2.1: geometric mean by default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ImpactCombiner {
+    /// Geometric mean of the per-container impacts (the paper's default).
+    #[default]
+    GeometricMean,
+    /// Arithmetic mean.
+    Mean,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+}
+
+impl ImpactCombiner {
+    /// Combines per-container impacts into a single step impact.
+    ///
+    /// Returns 0.0 for an empty slice.
+    #[must_use]
+    pub fn combine(self, impacts: &[f64]) -> f64 {
+        if impacts.is_empty() {
+            return 0.0;
+        }
+        match self {
+            ImpactCombiner::GeometricMean => {
+                if impacts.iter().any(|&v| v <= 0.0) {
+                    // A zero factor annuls the geometric mean; this matches
+                    // the intuition that a step with one untouched input has
+                    // not accumulated a complete wave of changes.
+                    0.0
+                } else {
+                    let log_sum: f64 = impacts.iter().map(|v| v.ln()).sum();
+                    (log_sum / impacts.len() as f64).exp()
+                }
+            }
+            ImpactCombiner::Mean => impacts.iter().sum::<f64>() / impacts.len() as f64,
+            ImpactCombiner::Max => impacts.iter().copied().fold(f64::MIN, f64::max),
+            ImpactCombiner::Sum => impacts.iter().sum(),
+        }
+    }
+}
+
+/// Per-step QoD configuration: which metric functions to use and how state
+/// accumulates.
+#[derive(Debug, Clone)]
+pub struct QodSpec {
+    /// Impact metric over the step's input containers (default Eq. 1).
+    pub impact: MetricKind,
+    /// Error metric over the step's output containers (default Eq. 3).
+    pub error: MetricKind,
+    /// Previous-state semantics.
+    pub mode: AccumulationMode,
+    /// Multi-predecessor combiner.
+    pub combiner: ImpactCombiner,
+}
+
+impl Default for QodSpec {
+    fn default() -> Self {
+        Self {
+            impact: MetricKind::Magnitude,
+            error: MetricKind::MeanRelative,
+            mode: AccumulationMode::default(),
+            combiner: ImpactCombiner::default(),
+        }
+    }
+}
+
+impl QodSpec {
+    /// The default spec (Eq. 1 impact, scale-free Eq. 3 error, cancel mode,
+    /// geometric-mean combiner).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the impact metric.
+    #[must_use]
+    pub fn with_impact(mut self, impact: MetricKind) -> Self {
+        self.impact = impact;
+        self
+    }
+
+    /// Sets the error metric.
+    #[must_use]
+    pub fn with_error(mut self, error: MetricKind) -> Self {
+        self.error = error;
+        self
+    }
+
+    /// Sets the accumulation mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: AccumulationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the multi-predecessor combiner.
+    #[must_use]
+    pub fn with_combiner(mut self, combiner: ImpactCombiner) -> Self {
+        self.combiner = combiner;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_validation() {
+        assert!(ErrorBound::new(0.0).is_ok());
+        assert!(ErrorBound::new(1.0).is_ok());
+        assert!(ErrorBound::new(-0.1).is_err());
+        assert!(ErrorBound::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bound_violation() {
+        let b = ErrorBound::new(0.2).unwrap();
+        assert!(b.is_violated_by(0.21));
+        assert!(!b.is_violated_by(0.2));
+        assert!(!b.is_violated_by(0.05));
+    }
+
+    #[test]
+    fn bound_displays_as_percent() {
+        assert_eq!(ErrorBound::new(0.05).unwrap().to_string(), "5.0%");
+    }
+
+    #[test]
+    fn geometric_mean_combiner() {
+        let c = ImpactCombiner::GeometricMean;
+        assert!((c.combine(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert_eq!(c.combine(&[0.0, 9.0]), 0.0);
+        assert_eq!(c.combine(&[]), 0.0);
+    }
+
+    #[test]
+    fn other_combiners() {
+        assert_eq!(ImpactCombiner::Mean.combine(&[2.0, 4.0]), 3.0);
+        assert_eq!(ImpactCombiner::Max.combine(&[2.0, 4.0]), 4.0);
+        assert_eq!(ImpactCombiner::Sum.combine(&[2.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn default_spec_uses_paper_defaults() {
+        let s = QodSpec::default();
+        assert!(matches!(s.impact, MetricKind::Magnitude));
+        assert!(matches!(s.error, MetricKind::MeanRelative));
+        assert_eq!(s.mode, AccumulationMode::Cancel);
+        assert_eq!(s.combiner, ImpactCombiner::GeometricMean);
+    }
+}

@@ -1,0 +1,422 @@
+//! The user-facing session: store + WMS + engine, wired together.
+
+use smartflux_datastore::DataStore;
+use smartflux_wms::{Scheduler, WaveOutcome, Workflow};
+
+use crate::config::EngineConfig;
+use crate::engine::{Phase, QodEngine, SharedEngine, WaveDiagnostics};
+use crate::error::CoreError;
+use crate::knowledge::KnowledgeBase;
+use crate::predictor::PredictorQuality;
+
+/// A running SmartFlux deployment: a workflow scheduled over a data store
+/// with the QoD engine deciding step triggering.
+///
+/// This is the typical entry point for applications: build a workflow with
+/// QoD annotations, create a session, run the training phase, then keep
+/// processing waves adaptively.
+///
+/// # Example
+///
+/// ```
+/// use smartflux::{EngineConfig, SmartFluxSession};
+/// use smartflux_datastore::{ContainerRef, DataStore, Value};
+/// use smartflux_wms::{FnStep, GraphBuilder, StepContext, Workflow};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let store = DataStore::new();
+/// let raw = ContainerRef::family("t", "raw");
+/// let out = ContainerRef::family("t", "out");
+/// store.ensure_container(&raw)?;
+/// store.ensure_container(&out)?;
+///
+/// let mut g = GraphBuilder::new("demo");
+/// let feed = g.add_step("feed");
+/// let agg = g.add_step("aggregate");
+/// g.add_edge(feed, agg)?;
+/// let mut wf = Workflow::new(g.build()?);
+/// wf.bind(feed, FnStep::new(|ctx: &StepContext| {
+///     let v = 50.0 + (ctx.wave() as f64 / 4.0).sin() * 5.0;
+///     ctx.put("t", "raw", "r", "v", Value::from(v))?;
+///     Ok(())
+/// })).source().writes(raw.clone());
+/// wf.bind(agg, FnStep::new(|ctx: &StepContext| {
+///     let v = ctx.get_f64("t", "raw", "r", "v", 0.0)?;
+///     ctx.put("t", "out", "r", "v", Value::from(v * 2.0))?;
+///     Ok(())
+/// })).reads(raw).writes(out).error_bound(0.1);
+///
+/// let config = EngineConfig::new()
+///     .with_training_waves(40)
+///     .with_quality_gates(0.5, 0.5);
+/// let mut session = SmartFluxSession::new(wf, store, config)?;
+/// session.run_training()?;          // synchronous phase + model build
+/// session.run_waves(20)?;           // adaptive phase
+/// assert!(session.executed_waves() >= 60);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SmartFluxSession {
+    scheduler: Scheduler,
+    engine: SharedEngine,
+}
+
+impl SmartFluxSession {
+    /// Creates a session over `workflow` and `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoQodSteps`] if the workflow declares no error
+    /// bounds.
+    pub fn new(
+        workflow: Workflow,
+        store: DataStore,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let engine = QodEngine::from_workflow(&workflow, store.clone(), config)?;
+        let shared = SharedEngine::new(engine);
+        let scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        Ok(Self {
+            scheduler,
+            engine: shared,
+        })
+    }
+
+    /// The engine's current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.engine.with(QodEngine::phase)
+    }
+
+    /// Runs waves until the engine completes its training (and test) phase
+    /// and enters the application phase. Returns the number of waves run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workflow failures; fails if training does not converge
+    /// within the configured extensions.
+    pub fn run_training(&mut self) -> Result<u64, CoreError> {
+        let mut ran = 0;
+        while matches!(self.phase(), Phase::Training { .. }) {
+            self.run_wave()?;
+            ran += 1;
+        }
+        Ok(ran)
+    }
+
+    /// Runs one wave under the current phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workflow failures.
+    pub fn run_wave(&mut self) -> Result<WaveOutcome, CoreError> {
+        Ok(self.scheduler.run_wave()?)
+    }
+
+    /// Runs `count` waves.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing wave.
+    pub fn run_waves(&mut self, count: u64) -> Result<Vec<WaveOutcome>, CoreError> {
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push(self.run_wave()?);
+        }
+        Ok(out)
+    }
+
+    /// Runs one wave executing independent DAG levels in parallel (see
+    /// [`Scheduler::run_wave_parallel`]). Trigger decisions stay sequential,
+    /// so the engine observes the same state as under [`run_wave`].
+    ///
+    /// [`Scheduler::run_wave_parallel`]: smartflux_wms::Scheduler::run_wave_parallel
+    /// [`run_wave`]: Self::run_wave
+    ///
+    /// # Errors
+    ///
+    /// Propagates workflow failures.
+    pub fn run_wave_parallel(&mut self) -> Result<WaveOutcome, CoreError> {
+        Ok(self.scheduler.run_wave_parallel()?)
+    }
+
+    /// Number of waves executed so far.
+    #[must_use]
+    pub fn executed_waves(&self) -> u64 {
+        self.scheduler.stats().waves()
+    }
+
+    /// The scheduler (statistics, event subscription).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The scheduler, mutably (e.g. to subscribe to events).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Test-phase quality of the trained model, if training completed.
+    #[must_use]
+    pub fn predictor_quality(&self) -> Option<PredictorQuality> {
+        self.engine.with(|e| e.predictor().quality())
+    }
+
+    /// A copy of the knowledge base collected during training.
+    #[must_use]
+    pub fn knowledge_base(&self) -> KnowledgeBase {
+        self.engine.with(|e| e.knowledge_base().clone())
+    }
+
+    /// Per-wave engine diagnostics (impacts, errors, decisions).
+    #[must_use]
+    pub fn diagnostics(&self) -> Vec<WaveDiagnostics> {
+        self.engine.with(|e| e.diagnostics().to_vec())
+    }
+
+    /// Shared handle to the engine for advanced introspection.
+    #[must_use]
+    pub fn engine(&self) -> SharedEngine {
+        self.engine.clone()
+    }
+
+    /// Serialises the per-wave diagnostics (impacts, training errors,
+    /// decisions) as CSV, one row per `(wave, step)` pair — ready for
+    /// plotting the paper's Fig. 7-style scatters for a custom workload.
+    #[must_use]
+    pub fn diagnostics_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("wave,phase,step,impact,error,executed\n");
+        self.engine.with(|e| {
+            let names: Vec<String> = e.qod_step_names().iter().map(|s| (*s).to_owned()).collect();
+            for d in e.diagnostics() {
+                for (j, name) in names.iter().enumerate() {
+                    let error = d.errors.get(j).copied();
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},{}",
+                        d.wave,
+                        if d.training {
+                            "training"
+                        } else {
+                            "application"
+                        },
+                        name,
+                        d.impacts[j],
+                        error.map_or(String::new(), |v| format!("{v}")),
+                        u8::from(d.decisions[j]),
+                    );
+                }
+            }
+        });
+        out
+    }
+
+    /// Requests on-demand retraining for `waves` waves starting at the next
+    /// wave (§3.1: "on-demand, useful if data patterns start to change
+    /// suddenly").
+    pub fn request_training(&mut self, waves: usize) {
+        let next = self.scheduler.next_wave();
+        self.engine.with_mut(|e| e.request_training(next, waves));
+    }
+}
+
+impl std::fmt::Debug for SmartFluxSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartFluxSession")
+            .field("waves", &self.executed_waves())
+            .field("phase", &self.phase())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_datastore::{ContainerRef, Value};
+    use smartflux_wms::{FnStep, GraphBuilder, StepContext};
+
+    fn session(training_waves: usize) -> SmartFluxSession {
+        let store = DataStore::new();
+        let raw = ContainerRef::family("t", "raw");
+        let out = ContainerRef::family("t", "out");
+        store.ensure_container(&raw).unwrap();
+        store.ensure_container(&out).unwrap();
+
+        let mut g = GraphBuilder::new("demo");
+        let feed = g.add_step("feed");
+        let agg = g.add_step("agg");
+        g.add_edge(feed, agg).unwrap();
+        let mut wf = Workflow::new(g.build().unwrap());
+        wf.bind(
+            feed,
+            FnStep::new(|ctx: &StepContext| {
+                let w = ctx.wave() as f64;
+                ctx.put("t", "raw", "r", "v", Value::from(100.0 + w))?;
+                Ok(())
+            }),
+        )
+        .source()
+        .writes(raw.clone());
+        wf.bind(
+            agg,
+            FnStep::new(|ctx: &StepContext| {
+                let v = ctx.get_f64("t", "raw", "r", "v", 0.0)?;
+                ctx.put("t", "out", "r", "v", Value::from(v))?;
+                Ok(())
+            }),
+        )
+        .reads(raw)
+        .writes(out)
+        .error_bound(0.05);
+
+        let config = EngineConfig::new()
+            .with_training_waves(training_waves)
+            .with_quality_gates(0.3, 0.3)
+            .with_seed(1);
+        SmartFluxSession::new(wf, store, config).unwrap()
+    }
+
+    #[test]
+    fn training_phase_completes() {
+        let mut s = session(30);
+        assert!(matches!(s.phase(), Phase::Training { .. }));
+        let ran = s.run_training().unwrap();
+        assert!(ran >= 30);
+        assert_eq!(s.phase(), Phase::Application);
+        assert!(s.predictor_quality().is_some());
+        assert_eq!(s.knowledge_base().len() as u64, ran);
+    }
+
+    #[test]
+    fn application_waves_record_diagnostics() {
+        let mut s = session(25);
+        s.run_training().unwrap();
+        s.run_waves(10).unwrap();
+        let diags = s.diagnostics();
+        let app_waves = diags.iter().filter(|d| !d.training).count();
+        assert_eq!(app_waves, 10);
+        let train_waves = diags.iter().filter(|d| d.training).count();
+        assert!(train_waves >= 25);
+        // Training diagnostics carry simulated errors; application ones do not.
+        assert!(diags
+            .iter()
+            .filter(|d| d.training)
+            .all(|d| d.errors.len() == 1));
+        assert!(diags
+            .iter()
+            .filter(|d| !d.training)
+            .all(|d| d.errors.is_empty()));
+    }
+
+    #[test]
+    fn retraining_can_be_requested() {
+        let mut s = session(20);
+        s.run_training().unwrap();
+        assert_eq!(s.phase(), Phase::Application);
+        s.request_training(15);
+        assert!(matches!(s.phase(), Phase::Training { .. }));
+        let ran = s.run_training().unwrap();
+        assert!(ran >= 15);
+        assert_eq!(s.phase(), Phase::Application);
+    }
+
+    #[test]
+    fn failed_quality_gates_extend_training() {
+        // Impossible gates: the engine must extend training the configured
+        // number of times, then enter the application phase anyway with
+        // quality_met = false.
+        let store = DataStore::new();
+        let raw = ContainerRef::family("t", "raw");
+        let out = ContainerRef::family("t", "out");
+        store.ensure_container(&raw).unwrap();
+        store.ensure_container(&out).unwrap();
+        let mut g = GraphBuilder::new("noisy");
+        let feed = g.add_step("feed");
+        let agg = g.add_step("agg");
+        g.add_edge(feed, agg).unwrap();
+        let mut wf = Workflow::new(g.build().unwrap());
+        wf.bind(
+            feed,
+            FnStep::new(|ctx: &StepContext| {
+                // An uncorrelated feed: labels are noise, gates cannot pass.
+                let w = ctx.wave();
+                let v = ((w.wrapping_mul(2_654_435_761)) % 997) as f64;
+                ctx.put("t", "raw", "r", "v", Value::from(v))?;
+                Ok(())
+            }),
+        )
+        .source()
+        .writes(raw.clone());
+        wf.bind(
+            agg,
+            FnStep::new(|ctx: &StepContext| {
+                let v = ctx.get_f64("t", "raw", "r", "v", 0.0)?;
+                ctx.put("t", "out", "r", "v", Value::from(v))?;
+                Ok(())
+            }),
+        )
+        .reads(raw)
+        .writes(out)
+        .error_bound(0.1);
+
+        let config = EngineConfig::new()
+            .with_training_waves(20)
+            .with_quality_gates(1.0, 1.0) // unattainable on noise
+            .with_training_extensions(2, 10)
+            .with_seed(3);
+        let mut s = SmartFluxSession::new(wf, store, config).unwrap();
+        let ran = s.run_training().unwrap();
+        // 20 initial + 2 extensions × 10.
+        assert_eq!(ran, 40);
+        assert_eq!(s.phase(), Phase::Application);
+        assert!(
+            !s.engine().with(|e| e.quality_met()),
+            "impossible gates cannot be met"
+        );
+    }
+
+    #[test]
+    fn diagnostics_csv_has_one_row_per_wave_and_step() {
+        let mut s = session(20);
+        s.run_training().unwrap();
+        s.run_waves(5).unwrap();
+        let csv = s.diagnostics_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("wave,phase,step,impact,error,executed"));
+        let rows = lines.count();
+        let waves = s.diagnostics().len();
+        assert_eq!(rows, waves); // one QoD step in this workflow
+        assert!(csv.contains(",training,"));
+        assert!(csv.contains(",application,"));
+    }
+
+    #[test]
+    fn unknown_step_override_is_rejected() {
+        let store = DataStore::new();
+        let raw = ContainerRef::family("t", "raw");
+        store.ensure_container(&raw).unwrap();
+        let mut g = GraphBuilder::new("demo");
+        let feed = g.add_step("feed");
+        let mut wf = Workflow::new(g.build().unwrap());
+        wf.bind(feed, FnStep::new(|_: &StepContext| Ok(())))
+            .source()
+            .writes(raw)
+            .error_bound(0.1);
+        let config = EngineConfig::new().with_step_spec("tpyo", crate::QodSpec::default());
+        let err = SmartFluxSession::new(wf, store, config).unwrap_err();
+        assert!(err.to_string().contains("unknown step `tpyo`"));
+    }
+
+    #[test]
+    fn workflow_without_bounds_is_rejected() {
+        let store = DataStore::new();
+        let mut g = GraphBuilder::new("plain");
+        let a = g.add_step("a");
+        let mut wf = Workflow::new(g.build().unwrap());
+        wf.bind(a, FnStep::new(|_: &StepContext| Ok(()))).source();
+        let err = SmartFluxSession::new(wf, store, EngineConfig::new()).unwrap_err();
+        assert!(matches!(err, CoreError::NoQodSteps));
+    }
+}

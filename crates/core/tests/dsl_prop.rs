@@ -1,0 +1,104 @@
+//! Property-based tests for the metric-function DSL.
+
+use proptest::prelude::*;
+
+use smartflux::dsl::compile;
+use smartflux::MetricContext;
+use smartflux_datastore::Value;
+
+/// A strategy producing syntactically valid DSL expressions alongside a
+/// rough depth bound, by recursive construction.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0.0f64..1e4).prop_map(|v| format!("{v:.3}")),
+        Just("sum_abs_delta".to_owned()),
+        Just("sum_delta".to_owned()),
+        Just("sum_sq_delta".to_owned()),
+        Just("sum_new".to_owned()),
+        Just("sum_old".to_owned()),
+        Just("sum_max".to_owned()),
+        Just("modified".to_owned()),
+        Just("total".to_owned()),
+        Just("prev_sum".to_owned()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} / {b})")),
+            inner.clone().prop_map(|a| format!("abs({a})")),
+            inner.clone().prop_map(|a| format!("sqrt({a})")),
+            inner.clone().prop_map(|a| format!("clamp01({a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("max({a}, {b})")),
+        ]
+    })
+}
+
+proptest! {
+    /// Every generated expression compiles, and evaluation never yields NaN
+    /// regardless of the update stream.
+    #[test]
+    fn valid_expressions_compile_and_never_nan(
+        src in expr_strategy(),
+        pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 0..20),
+        total in 0usize..100,
+        prev_sum in -1e5f64..1e5,
+    ) {
+        let kind = compile(&src).expect("generated expressions are valid");
+        let mut metric = kind.instantiate();
+        for (new, old) in &pairs {
+            metric.update(Some(&Value::from(*new)), Some(&Value::from(*old)));
+        }
+        let v = metric.compute(&MetricContext::new(total, prev_sum));
+        prop_assert!(!v.is_nan(), "{src} produced NaN");
+    }
+
+    /// Compilation is a total function over arbitrary input strings: it
+    /// returns Ok or Err but never panics.
+    #[test]
+    fn compile_never_panics(src in ".{0,64}") {
+        let _ = compile(&src);
+    }
+
+    /// clamp01 wrapping bounds any expression into [0, 1].
+    #[test]
+    fn clamp_is_effective(
+        src in expr_strategy(),
+        pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 0..12),
+    ) {
+        let kind = compile(&format!("clamp01({src})")).expect("valid");
+        let mut metric = kind.instantiate();
+        for (new, old) in &pairs {
+            metric.update(Some(&Value::from(*new)), Some(&Value::from(*old)));
+        }
+        let v = metric.compute(&MetricContext::new(pairs.len(), 10.0));
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// Reset restores the zero state: aggregates evaluate as if fresh.
+    #[test]
+    fn reset_is_equivalent_to_fresh(
+        src in expr_strategy(),
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..10),
+    ) {
+        let kind = compile(&src).expect("valid");
+        let ctx = MetricContext::new(7, 3.0);
+
+        let mut dirty = kind.instantiate();
+        for (new, old) in &pairs {
+            dirty.update(Some(&Value::from(*new)), Some(&Value::from(*old)));
+        }
+        dirty.reset();
+        let after_reset = dirty.compute(&ctx);
+
+        let fresh = kind.instantiate().compute(&ctx);
+        // Both are the same expression over all-zero aggregates.
+        prop_assert!(
+            (after_reset == fresh)
+                || (after_reset.is_infinite() && fresh.is_infinite()),
+            "{src}: {after_reset} vs {fresh}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! An in-memory, versioned, columnar key-value store with write observation.
+//!
+//! This crate is the storage substrate of the SmartFlux reproduction. It plays
+//! the role HBase plays in the paper: workflow processing steps communicate
+//! exclusively through *data containers* held in this store, and the SmartFlux
+//! middleware observes every mutation to compute input-impact and output-error
+//! metrics.
+//!
+//! # Data model
+//!
+//! The store follows the BigTable/HBase model: a [`DataStore`] holds named
+//! [`Table`]s; each table holds named *column families*; each family maps a
+//! row key to a set of *column qualifiers*; each `(row, qualifier)` slot is a
+//! [`VersionedCell`] retaining a bounded history of timestamped [`Value`]s.
+//! Retaining the previous version next to the current one is what lets
+//! SmartFlux diff new state against old state without extra reads (§4.2 of
+//! the paper).
+//!
+//! # Containers
+//!
+//! A [`ContainerRef`] names a subset of the store — a whole family or a single
+//! qualifier column — and is the unit to which Quality-of-Data bounds attach.
+//!
+//! # Observation
+//!
+//! Every mutation is reported to registered [`WriteObserver`]s as a
+//! [`WriteEvent`] carrying the old and new value. This is the single
+//! interception point that replaces the paper's three options (adapted client
+//! libraries, adapted WMS shared libraries, HBase co-processors).
+//!
+//! # Example
+//!
+//! ```
+//! use smartflux_datastore::{DataStore, ContainerRef, Value};
+//!
+//! # fn main() -> Result<(), smartflux_datastore::StoreError> {
+//! let store = DataStore::new();
+//! store.create_table("forest")?;
+//! store.create_family("forest", "sensors")?;
+//!
+//! store.put("forest", "sensors", "s-001", "temperature", Value::from(24.5))?;
+//! let cell = store.get("forest", "sensors", "s-001", "temperature")?;
+//! assert_eq!(cell.unwrap().as_f64(), Some(24.5));
+//!
+//! let container = ContainerRef::family("forest", "sensors");
+//! assert_eq!(store.snapshot(&container)?.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod container;
+mod error;
+mod observer;
+mod scan;
+mod snapshot;
+mod store;
+mod table;
+mod value;
+
+pub use cell::{Timestamp, VersionedCell};
+pub use container::ContainerRef;
+pub use error::StoreError;
+pub use observer::{ObserverHandle, WriteEvent, WriteKind, WriteObserver};
+pub use scan::{RowScan, ScanFilter};
+pub use snapshot::{SlotChange, Snapshot, SnapshotDiff};
+pub use store::DataStore;
+pub use table::{ColumnFamily, Row, Table};
+pub use value::Value;

@@ -1,0 +1,157 @@
+//! Write observation: the SmartFlux interception point.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// The kind of mutation an observer is notified about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteKind {
+    /// A value was inserted or updated.
+    Put,
+    /// A value was removed.
+    Delete,
+}
+
+impl fmt::Display for WriteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteKind::Put => f.write_str("put"),
+            WriteKind::Delete => f.write_str("delete"),
+        }
+    }
+}
+
+/// A mutation event delivered to [`WriteObserver`]s.
+///
+/// Carries both the old and the new value so observers can compute
+/// magnitude-of-change metrics without reading the store back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteEvent {
+    /// Table that was written.
+    pub table: String,
+    /// Column family that was written.
+    pub family: String,
+    /// Row key that was written.
+    pub row: String,
+    /// Column qualifier that was written.
+    pub qualifier: String,
+    /// Kind of mutation.
+    pub kind: WriteKind,
+    /// Value displaced by the write (`None` for a fresh insert).
+    pub old: Option<Value>,
+    /// Value written (`None` for a delete).
+    pub new: Option<Value>,
+    /// Store timestamp assigned to the write.
+    pub timestamp: u64,
+}
+
+/// An observer of store mutations.
+///
+/// This is the single interception surface standing in for the paper's three
+/// options (adapted application client libraries, adapted WMS shared
+/// libraries, and data-store co-processors/triggers). The SmartFlux
+/// Monitoring component registers one of these on the store.
+///
+/// Observers are invoked synchronously on the writing thread, after the write
+/// has been applied, with the store lock released; implementations must be
+/// `Send + Sync`.
+pub trait WriteObserver: Send + Sync {
+    /// Called once per mutation.
+    fn on_write(&self, event: &WriteEvent);
+}
+
+impl<F> WriteObserver for F
+where
+    F: Fn(&WriteEvent) + Send + Sync,
+{
+    fn on_write(&self, event: &WriteEvent) {
+        self(event);
+    }
+}
+
+/// Handle returned by [`DataStore::register_observer`]; pass it to
+/// [`DataStore::unregister_observer`] to stop receiving events.
+///
+/// [`DataStore::register_observer`]: crate::DataStore::register_observer
+/// [`DataStore::unregister_observer`]: crate::DataStore::unregister_observer
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverHandle(pub(crate) u64);
+
+/// Internal registry of observers.
+#[derive(Default)]
+pub(crate) struct ObserverBus {
+    next_id: u64,
+    observers: Vec<(u64, Arc<dyn WriteObserver>)>,
+}
+
+impl ObserverBus {
+    pub(crate) fn register(&mut self, observer: Arc<dyn WriteObserver>) -> ObserverHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.observers.push((id, observer));
+        ObserverHandle(id)
+    }
+
+    pub(crate) fn unregister(&mut self, handle: ObserverHandle) -> bool {
+        let before = self.observers.len();
+        self.observers.retain(|(id, _)| *id != handle.0);
+        self.observers.len() != before
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<Arc<dyn WriteObserver>> {
+        self.observers.iter().map(|(_, o)| Arc::clone(o)).collect()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl fmt::Debug for ObserverBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObserverBus")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn closure_is_an_observer() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let obs: Arc<dyn WriteObserver> = Arc::new(move |_e: &WriteEvent| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let event = WriteEvent {
+            table: "t".into(),
+            family: "f".into(),
+            row: "r".into(),
+            qualifier: "q".into(),
+            kind: WriteKind::Put,
+            old: None,
+            new: Some(Value::from(1.0)),
+            timestamp: 1,
+        };
+        obs.on_write(&event);
+        obs.on_write(&event);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn bus_register_unregister() {
+        let mut bus = ObserverBus::default();
+        assert!(bus.is_empty());
+        let h = bus.register(Arc::new(|_: &WriteEvent| {}));
+        assert!(!bus.is_empty());
+        assert!(bus.unregister(h));
+        assert!(!bus.unregister(h));
+        assert!(bus.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Row scans over column families.
+
+use crate::value::Value;
+
+/// A filter restricting which rows a scan returns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanFilter {
+    /// Only rows whose key starts with this prefix are returned.
+    pub row_prefix: Option<String>,
+    /// Only this qualifier is returned from each row.
+    pub qualifier: Option<String>,
+    /// Maximum number of rows returned.
+    pub limit: Option<usize>,
+}
+
+impl ScanFilter {
+    /// A filter matching everything.
+    #[must_use]
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the scan to rows with the given key prefix.
+    #[must_use]
+    pub fn with_row_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.row_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Restricts the scan to a single qualifier column.
+    #[must_use]
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Caps the number of rows returned.
+    #[must_use]
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    pub(crate) fn matches_row(&self, key: &str) -> bool {
+        self.row_prefix
+            .as_deref()
+            .is_none_or(|p| key.starts_with(p))
+    }
+
+    pub(crate) fn matches_qualifier(&self, qualifier: &str) -> bool {
+        self.qualifier.as_deref().is_none_or(|q| q == qualifier)
+    }
+}
+
+/// One row produced by a scan: the row key and its matching
+/// `(qualifier, current value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowScan {
+    /// Row key.
+    pub key: String,
+    /// Matching `(qualifier, value)` pairs, in qualifier order.
+    pub columns: Vec<(String, Value)>,
+}
+
+impl RowScan {
+    /// Current value under `qualifier` in this row, if present.
+    #[must_use]
+    pub fn value(&self, qualifier: &str) -> Option<&Value> {
+        self.columns
+            .iter()
+            .find(|(q, _)| q == qualifier)
+            .map(|(_, v)| v)
+    }
+
+    /// Current numeric value under `qualifier`, if present and numeric.
+    #[must_use]
+    pub fn f64(&self, qualifier: &str) -> Option<f64> {
+        self.value(qualifier).and_then(Value::as_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_builders_compose() {
+        let f = ScanFilter::all()
+            .with_row_prefix("seg-")
+            .with_qualifier("speed")
+            .with_limit(10);
+        assert!(f.matches_row("seg-001"));
+        assert!(!f.matches_row("veh-001"));
+        assert!(f.matches_qualifier("speed"));
+        assert!(!f.matches_qualifier("count"));
+        assert_eq!(f.limit, Some(10));
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = ScanFilter::all();
+        assert!(f.matches_row("anything"));
+        assert!(f.matches_qualifier("anything"));
+    }
+
+    #[test]
+    fn row_scan_lookup() {
+        let r = RowScan {
+            key: "seg-1".into(),
+            columns: vec![
+                ("count".into(), Value::from(4i64)),
+                ("speed".into(), Value::from(61.5)),
+            ],
+        };
+        assert_eq!(r.f64("speed"), Some(61.5));
+        assert_eq!(r.f64("count"), Some(4.0));
+        assert_eq!(r.f64("missing"), None);
+    }
+}

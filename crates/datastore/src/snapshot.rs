@@ -1,0 +1,198 @@
+//! Point-in-time container snapshots and diffs.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// A point-in-time copy of a container's state: `(row, qualifier) → value`.
+///
+/// Snapshots back the ground-truth evaluation harness (comparing an adaptive
+/// run's stale outputs against a synchronous replica) and the cancel-mode
+/// impact semantics (comparing against the state at the step's last
+/// execution rather than the previous wave).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: BTreeMap<(String, String), Value>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn insert(&mut self, row: String, qualifier: String, value: Value) {
+        self.entries.insert((row, qualifier), value);
+    }
+
+    /// Value stored under `(row, qualifier)`, if any.
+    #[must_use]
+    pub fn get(&self, row: &str, qualifier: &str) -> Option<&Value> {
+        self.entries.get(&(row.to_owned(), qualifier.to_owned()))
+    }
+
+    /// Number of `(row, qualifier)` slots captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no slots were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `((row, qualifier), value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &Value)> {
+        self.entries.iter()
+    }
+
+    /// Computes the element-wise difference from `older` to `self`.
+    ///
+    /// Slots present in only one snapshot are treated as changes from/to an
+    /// absent value (which the paper's Eq. 1 treats as a zero previous
+    /// state for numeric values).
+    #[must_use]
+    pub fn diff(&self, older: &Snapshot) -> SnapshotDiff {
+        let mut changes = Vec::new();
+        for (key, new) in &self.entries {
+            match older.entries.get(key) {
+                Some(old) if old == new => {}
+                Some(old) => changes.push(SlotChange {
+                    row: key.0.clone(),
+                    qualifier: key.1.clone(),
+                    old: Some(old.clone()),
+                    new: Some(new.clone()),
+                }),
+                None => changes.push(SlotChange {
+                    row: key.0.clone(),
+                    qualifier: key.1.clone(),
+                    old: None,
+                    new: Some(new.clone()),
+                }),
+            }
+        }
+        for (key, old) in &older.entries {
+            if !self.entries.contains_key(key) {
+                changes.push(SlotChange {
+                    row: key.0.clone(),
+                    qualifier: key.1.clone(),
+                    old: Some(old.clone()),
+                    new: None,
+                });
+            }
+        }
+        SnapshotDiff {
+            changes,
+            total_slots: self.entries.len().max(older.entries.len()),
+        }
+    }
+}
+
+/// A single changed slot in a [`SnapshotDiff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotChange {
+    /// Row key of the changed slot.
+    pub row: String,
+    /// Column qualifier of the changed slot.
+    pub qualifier: String,
+    /// Old value (`None` if the slot did not exist before).
+    pub old: Option<Value>,
+    /// New value (`None` if the slot was removed).
+    pub new: Option<Value>,
+}
+
+impl SlotChange {
+    /// Magnitude of the change: `|new - old|` for numeric pairs, with absent
+    /// values treated as zero (per Eq. 1's "if a new element is inserted,
+    /// its latest state is zero").
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        match (&self.old, &self.new) {
+            (Some(o), Some(n)) => n.abs_diff(o),
+            (None, Some(n)) => n.as_f64().map_or(1.0, f64::abs),
+            (Some(o), None) => o.as_f64().map_or(1.0, f64::abs),
+            (None, None) => 0.0,
+        }
+    }
+}
+
+/// The set of slot-level changes between two snapshots of one container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDiff {
+    changes: Vec<SlotChange>,
+    total_slots: usize,
+}
+
+impl SnapshotDiff {
+    /// The changed slots.
+    #[must_use]
+    pub fn changes(&self) -> &[SlotChange] {
+        &self.changes
+    }
+
+    /// Number of changed slots (the paper's `m`).
+    #[must_use]
+    pub fn modified_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Total slots considered (the paper's `n`).
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// Returns `true` if the snapshots were identical.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(&str, &str, f64)]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for (r, q, v) in entries {
+            s.insert((*r).to_owned(), (*q).to_owned(), Value::from(*v));
+        }
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_have_empty_diff() {
+        let a = snap(&[("r1", "q", 1.0), ("r2", "q", 2.0)]);
+        let d = a.diff(&a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.total_slots(), 2);
+    }
+
+    #[test]
+    fn diff_detects_update_insert_delete() {
+        let old = snap(&[("r1", "q", 1.0), ("r2", "q", 2.0)]);
+        let new = snap(&[("r1", "q", 5.0), ("r3", "q", 7.0)]);
+        let d = new.diff(&old);
+        assert_eq!(d.modified_count(), 3);
+        let mags: Vec<f64> = d.changes().iter().map(SlotChange::magnitude).collect();
+        // r1: |5-1| = 4, r3 inserted: |7| = 7, r2 removed: |2| = 2.
+        assert!(mags.contains(&4.0));
+        assert!(mags.contains(&7.0));
+        assert!(mags.contains(&2.0));
+    }
+
+    #[test]
+    fn insert_magnitude_uses_zero_previous_state() {
+        let c = SlotChange {
+            row: "r".into(),
+            qualifier: "q".into(),
+            old: None,
+            new: Some(Value::from(-3.0)),
+        };
+        assert_eq!(c.magnitude(), 3.0);
+    }
+}

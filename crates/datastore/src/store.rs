@@ -1,0 +1,620 @@
+//! The store facade.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cell::{Timestamp, VersionedCell};
+use crate::container::ContainerRef;
+use crate::error::StoreError;
+use crate::observer::{ObserverBus, ObserverHandle, WriteEvent, WriteKind, WriteObserver};
+use crate::scan::{RowScan, ScanFilter};
+use crate::snapshot::Snapshot;
+use crate::table::Table;
+use crate::value::Value;
+
+struct StoreInner {
+    tables: BTreeMap<String, Table>,
+    clock: Timestamp,
+    max_versions: usize,
+}
+
+impl Default for StoreInner {
+    fn default() -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            clock: 0,
+            max_versions: crate::cell::DEFAULT_MAX_VERSIONS,
+        }
+    }
+}
+
+/// A cheaply-cloneable handle to an in-memory columnar store.
+///
+/// All clones share the same underlying data; the handle is `Send + Sync`
+/// and safe to use from workflow steps running on any thread.
+///
+/// # Example
+///
+/// ```
+/// use smartflux_datastore::{DataStore, Value};
+///
+/// # fn main() -> Result<(), smartflux_datastore::StoreError> {
+/// let store = DataStore::new();
+/// store.create_table("t")?;
+/// store.create_family("t", "f")?;
+/// store.put("t", "f", "row", "col", Value::from(1.0))?;
+///
+/// let other_handle = store.clone();
+/// assert!(other_handle.get("t", "f", "row", "col")?.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct DataStore {
+    inner: Arc<RwLock<StoreInner>>,
+    observers: Arc<RwLock<ObserverBus>>,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store whose cells retain up to `max_versions`
+    /// versions (HBase's per-column-family `VERSIONS` setting, applied
+    /// store-wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_versions` is zero — the current version must always
+    /// be retained.
+    #[must_use]
+    pub fn with_max_versions(max_versions: usize) -> Self {
+        assert!(max_versions > 0, "cells must retain at least one version");
+        let store = Self::default();
+        store.inner.write().max_versions = max_versions;
+        store
+    }
+
+    /// The version-retention bound applied to newly created cells.
+    #[must_use]
+    pub fn max_versions(&self) -> usize {
+        self.inner.read().max_versions
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::TableExists`] if the name is taken.
+    pub fn create_table(&self, name: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(name) {
+            return Err(StoreError::TableExists(name.to_owned()));
+        }
+        inner.tables.insert(name.to_owned(), Table::new());
+        Ok(())
+    }
+
+    /// Creates a column family inside an existing table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::TableNotFound`] if the table does not exist and
+    /// [`StoreError::FamilyExists`] if the family name is taken.
+    pub fn create_family(&self, table: &str, family: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::TableNotFound(table.to_owned()))?;
+        if !t.add_family(family) {
+            return Err(StoreError::FamilyExists {
+                table: table.to_owned(),
+                family: family.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Creates a table and family in one call, ignoring pre-existing ones.
+    ///
+    /// Convenience for workload setup code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal errors other than "already exists".
+    pub fn ensure_container(&self, container: &ContainerRef) -> Result<(), StoreError> {
+        match self.create_table(container.table()) {
+            Ok(()) | Err(StoreError::TableExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        match self.create_family(container.table(), container.family_name()) {
+            Ok(()) | Err(StoreError::FamilyExists { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns `true` if the table exists.
+    #[must_use]
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.read().tables.contains_key(name)
+    }
+
+    /// Writes `value` under `(table, family, row, qualifier)`.
+    ///
+    /// Returns the displaced current value, if the cell already existed, and
+    /// notifies registered observers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn put(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+        value: Value,
+    ) -> Result<Option<Value>, StoreError> {
+        let (old, ts) = {
+            let mut inner = self.inner.write();
+            inner.clock += 1;
+            let ts = inner.clock;
+            let max_versions = inner.max_versions;
+            let fam = Self::family_mut(&mut inner, table, family)?;
+            let old =
+                fam.row_mut(row)
+                    .put_with_versions(qualifier, value.clone(), ts, max_versions);
+            (old, ts)
+        };
+        self.notify(WriteEvent {
+            table: table.to_owned(),
+            family: family.to_owned(),
+            row: row.to_owned(),
+            qualifier: qualifier.to_owned(),
+            kind: WriteKind::Put,
+            old: old.clone(),
+            new: Some(value),
+            timestamp: ts,
+        });
+        Ok(old)
+    }
+
+    /// Deletes the cell under `(table, family, row, qualifier)`.
+    ///
+    /// Returns the removed value, if any, and notifies observers when a
+    /// value was actually removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn delete(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+    ) -> Result<Option<Value>, StoreError> {
+        let (old, ts) = {
+            let mut inner = self.inner.write();
+            inner.clock += 1;
+            let ts = inner.clock;
+            let fam = Self::family_mut(&mut inner, table, family)?;
+            (fam.delete_cell(row, qualifier), ts)
+        };
+        if let Some(old_value) = &old {
+            self.notify(WriteEvent {
+                table: table.to_owned(),
+                family: family.to_owned(),
+                row: row.to_owned(),
+                qualifier: qualifier.to_owned(),
+                kind: WriteKind::Delete,
+                old: Some(old_value.clone()),
+                new: None,
+                timestamp: ts,
+            });
+        }
+        Ok(old)
+    }
+
+    /// Reads the current value of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist. A missing
+    /// row or qualifier is not an error and yields `Ok(None)`.
+    pub fn get(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+    ) -> Result<Option<Value>, StoreError> {
+        let inner = self.inner.read();
+        let fam = Self::family_ref(&inner, table, family)?;
+        Ok(fam
+            .row(row)
+            .and_then(|r| r.cell(qualifier))
+            .map(|c| c.current().clone()))
+    }
+
+    /// Reads the full versioned cell (current plus retained history).
+    ///
+    /// This mirrors the paper's trick of fetching the previous state in the
+    /// same request as the current one (§5.3 "Overhead").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn get_versioned(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+    ) -> Result<Option<VersionedCell>, StoreError> {
+        let inner = self.inner.read();
+        let fam = Self::family_ref(&inner, table, family)?;
+        Ok(fam.row(row).and_then(|r| r.cell(qualifier)).cloned())
+    }
+
+    /// Scans rows of a column family, subject to `filter`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn scan(
+        &self,
+        table: &str,
+        family: &str,
+        filter: &ScanFilter,
+    ) -> Result<Vec<RowScan>, StoreError> {
+        let inner = self.inner.read();
+        let fam = Self::family_ref(&inner, table, family)?;
+        let mut out = Vec::new();
+        for (key, row) in fam.iter() {
+            if !filter.matches_row(key) {
+                continue;
+            }
+            let columns: Vec<(String, Value)> = row
+                .iter()
+                .filter(|(q, _)| filter.matches_qualifier(q))
+                .map(|(q, c)| (q.to_owned(), c.current().clone()))
+                .collect();
+            if columns.is_empty() {
+                continue;
+            }
+            out.push(RowScan {
+                key: key.to_owned(),
+                columns,
+            });
+            if filter.limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Captures a point-in-time snapshot of a container's current values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the container's table or family does not exist.
+    pub fn snapshot(&self, container: &ContainerRef) -> Result<Snapshot, StoreError> {
+        let inner = self.inner.read();
+        let fam = Self::family_ref(&inner, container.table(), container.family_name())?;
+        let mut snap = Snapshot::new();
+        for (key, row) in fam.iter() {
+            for (q, cell) in row.iter() {
+                if container.qualifier().is_none_or(|cq| cq == q) {
+                    snap.insert(key.to_owned(), q.to_owned(), cell.current().clone());
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Number of populated cells in a container.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the container's table or family does not exist.
+    pub fn cell_count(&self, container: &ContainerRef) -> Result<usize, StoreError> {
+        let inner = self.inner.read();
+        let fam = Self::family_ref(&inner, container.table(), container.family_name())?;
+        Ok(match container.qualifier() {
+            None => fam.cell_count(),
+            Some(q) => fam.iter().filter(|(_, row)| row.cell(q).is_some()).count(),
+        })
+    }
+
+    /// Registers a write observer; returns a handle for unregistration.
+    pub fn register_observer(&self, observer: Arc<dyn WriteObserver>) -> ObserverHandle {
+        self.observers.write().register(observer)
+    }
+
+    /// Unregisters an observer. Returns `false` if the handle was unknown.
+    pub fn unregister_observer(&self, handle: ObserverHandle) -> bool {
+        self.observers.write().unregister(handle)
+    }
+
+    /// Current logical clock value (timestamp of the most recent write).
+    #[must_use]
+    pub fn clock(&self) -> Timestamp {
+        self.inner.read().clock
+    }
+
+    /// Names of all tables, in order.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    fn notify(&self, event: WriteEvent) {
+        let observers = {
+            let bus = self.observers.read();
+            if bus.is_empty() {
+                return;
+            }
+            bus.snapshot()
+        };
+        for obs in observers {
+            obs.on_write(&event);
+        }
+    }
+
+    fn family_mut<'a>(
+        inner: &'a mut StoreInner,
+        table: &str,
+        family: &str,
+    ) -> Result<&'a mut crate::table::ColumnFamily, StoreError> {
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::TableNotFound(table.to_owned()))?;
+        t.family_mut(family)
+            .ok_or_else(|| StoreError::FamilyNotFound {
+                table: table.to_owned(),
+                family: family.to_owned(),
+            })
+    }
+
+    fn family_ref<'a>(
+        inner: &'a StoreInner,
+        table: &str,
+        family: &str,
+    ) -> Result<&'a crate::table::ColumnFamily, StoreError> {
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::TableNotFound(table.to_owned()))?;
+        t.family(family).ok_or_else(|| StoreError::FamilyNotFound {
+            table: table.to_owned(),
+            family: family.to_owned(),
+        })
+    }
+}
+
+impl fmt::Debug for DataStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("DataStore")
+            .field("tables", &inner.tables.len())
+            .field("clock", &inner.clock)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn store_with_tf() -> DataStore {
+        let s = DataStore::new();
+        s.create_table("t").unwrap();
+        s.create_family("t", "f").unwrap();
+        s
+    }
+
+    #[test]
+    fn create_table_twice_fails() {
+        let s = DataStore::new();
+        s.create_table("t").unwrap();
+        assert_eq!(
+            s.create_table("t"),
+            Err(StoreError::TableExists("t".into()))
+        );
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store_with_tf();
+        assert_eq!(s.put("t", "f", "r", "q", Value::from(1.0)).unwrap(), None);
+        assert_eq!(
+            s.put("t", "f", "r", "q", Value::from(2.0)).unwrap(),
+            Some(Value::from(1.0))
+        );
+        assert_eq!(s.get("t", "f", "r", "q").unwrap(), Some(Value::from(2.0)));
+        assert_eq!(s.get("t", "f", "r", "missing").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_family_is_an_error() {
+        let s = store_with_tf();
+        assert!(matches!(
+            s.get("t", "nope", "r", "q"),
+            Err(StoreError::FamilyNotFound { .. })
+        ));
+        assert!(matches!(
+            s.put("nope", "f", "r", "q", Value::from(1.0)),
+            Err(StoreError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn versioned_get_keeps_previous() {
+        let s = store_with_tf();
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        s.put("t", "f", "r", "q", Value::from(2.0)).unwrap();
+        let cell = s.get_versioned("t", "f", "r", "q").unwrap().unwrap();
+        assert_eq!(cell.current().as_f64(), Some(2.0));
+        assert_eq!(cell.previous().unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn delete_removes_and_notifies_once() {
+        let s = store_with_tf();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.register_observer(Arc::new(move |e: &WriteEvent| {
+            if e.kind == WriteKind::Delete {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        assert_eq!(
+            s.delete("t", "f", "r", "q").unwrap(),
+            Some(Value::from(1.0))
+        );
+        // Deleting an absent cell neither errors nor notifies.
+        assert_eq!(s.delete("t", "f", "r", "q").unwrap(), None);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn observer_sees_old_and_new() {
+        let s = store_with_tf();
+        let seen: Arc<parking_lot::Mutex<Vec<WriteEvent>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        s.register_observer(Arc::new(move |e: &WriteEvent| {
+            seen2.lock().push(e.clone());
+        }));
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        s.put("t", "f", "r", "q", Value::from(4.0)).unwrap();
+        let events = seen.lock();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].old, None);
+        assert_eq!(events[1].old, Some(Value::from(1.0)));
+        assert_eq!(events[1].new, Some(Value::from(4.0)));
+        assert!(events[1].timestamp > events[0].timestamp);
+    }
+
+    #[test]
+    fn unregistered_observer_is_silent() {
+        let s = store_with_tf();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let h = s.register_observer(Arc::new(move |_: &WriteEvent| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        assert!(s.unregister_observer(h));
+        s.put("t", "f", "r", "q", Value::from(2.0)).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scan_with_prefix_and_limit() {
+        let s = store_with_tf();
+        for i in 0..5 {
+            s.put(
+                "t",
+                "f",
+                &format!("seg-{i}"),
+                "speed",
+                Value::from(i as f64),
+            )
+            .unwrap();
+            s.put("t", "f", &format!("veh-{i}"), "pos", Value::from(i as f64))
+                .unwrap();
+        }
+        let rows = s
+            .scan(
+                "t",
+                "f",
+                &ScanFilter::all().with_row_prefix("seg-").with_limit(3),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.key.starts_with("seg-")));
+    }
+
+    #[test]
+    fn snapshot_captures_column_subset() {
+        let s = store_with_tf();
+        s.put("t", "f", "r1", "a", Value::from(1.0)).unwrap();
+        s.put("t", "f", "r1", "b", Value::from(2.0)).unwrap();
+        s.put("t", "f", "r2", "a", Value::from(3.0)).unwrap();
+        let fam_snap = s.snapshot(&ContainerRef::family("t", "f")).unwrap();
+        assert_eq!(fam_snap.len(), 3);
+        let col_snap = s.snapshot(&ContainerRef::column("t", "f", "a")).unwrap();
+        assert_eq!(col_snap.len(), 2);
+        assert_eq!(col_snap.get("r1", "a"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn cell_count_per_container() {
+        let s = store_with_tf();
+        s.put("t", "f", "r1", "a", Value::from(1.0)).unwrap();
+        s.put("t", "f", "r1", "b", Value::from(2.0)).unwrap();
+        s.put("t", "f", "r2", "a", Value::from(3.0)).unwrap();
+        assert_eq!(s.cell_count(&ContainerRef::family("t", "f")).unwrap(), 3);
+        assert_eq!(
+            s.cell_count(&ContainerRef::column("t", "f", "a")).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn ensure_container_is_idempotent() {
+        let s = DataStore::new();
+        let c = ContainerRef::family("t", "f");
+        s.ensure_container(&c).unwrap();
+        s.ensure_container(&c).unwrap();
+        assert!(s.has_table("t"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = store_with_tf();
+        let s2 = s.clone();
+        s.put("t", "f", "r", "q", Value::from(9.0)).unwrap();
+        assert_eq!(s2.get("t", "f", "r", "q").unwrap(), Some(Value::from(9.0)));
+    }
+
+    #[test]
+    fn configurable_version_retention() {
+        let s = DataStore::with_max_versions(2);
+        assert_eq!(s.max_versions(), 2);
+        s.create_table("t").unwrap();
+        s.create_family("t", "f").unwrap();
+        for i in 0..6 {
+            s.put("t", "f", "r", "q", Value::from(f64::from(i)))
+                .unwrap();
+        }
+        let cell = s.get_versioned("t", "f", "r", "q").unwrap().unwrap();
+        assert_eq!(cell.version_count(), 2);
+        assert_eq!(cell.current().as_f64(), Some(5.0));
+        assert_eq!(cell.previous().unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn zero_version_retention_panics() {
+        let _ = DataStore::with_max_versions(0);
+    }
+
+    #[test]
+    fn store_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataStore>();
+    }
+}

@@ -1,0 +1,254 @@
+//! Tables, column families and rows.
+
+use std::collections::BTreeMap;
+
+use crate::cell::{Timestamp, VersionedCell};
+use crate::value::Value;
+
+/// A row: a sorted map from column qualifier to versioned cell.
+///
+/// Rows are sparse — only qualifiers that were written exist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Row {
+    cells: BTreeMap<String, VersionedCell>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cell under `qualifier`, if present.
+    #[must_use]
+    pub fn cell(&self, qualifier: &str) -> Option<&VersionedCell> {
+        self.cells.get(qualifier)
+    }
+
+    /// Writes `value` under `qualifier`, returning the displaced current
+    /// value if the cell already existed.
+    pub fn put(&mut self, qualifier: &str, value: Value, ts: Timestamp) -> Option<Value> {
+        self.put_with_versions(qualifier, value, ts, crate::cell::DEFAULT_MAX_VERSIONS)
+    }
+
+    /// Like [`put`](Self::put), but new cells retain up to `max_versions`
+    /// versions (existing cells keep their original bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_versions` is zero.
+    pub fn put_with_versions(
+        &mut self,
+        qualifier: &str,
+        value: Value,
+        ts: Timestamp,
+        max_versions: usize,
+    ) -> Option<Value> {
+        match self.cells.get_mut(qualifier) {
+            Some(cell) => {
+                let old = cell.current().clone();
+                cell.push(value, ts);
+                Some(old)
+            }
+            None => {
+                self.cells.insert(
+                    qualifier.to_owned(),
+                    VersionedCell::with_max_versions(value, ts, max_versions),
+                );
+                None
+            }
+        }
+    }
+
+    /// Removes the cell under `qualifier`, returning its current value.
+    pub fn delete(&mut self, qualifier: &str) -> Option<Value> {
+        self.cells.remove(qualifier).map(|c| c.current().clone())
+    }
+
+    /// Iterates `(qualifier, cell)` pairs in qualifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &VersionedCell)> {
+        self.cells.iter().map(|(q, c)| (q.as_str(), c))
+    }
+
+    /// Number of populated cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the row holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A column family: a sorted map from row key to [`Row`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnFamily {
+    rows: BTreeMap<String, Row>,
+}
+
+impl ColumnFamily {
+    /// Creates an empty column family.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the row under `key`, if present.
+    #[must_use]
+    pub fn row(&self, key: &str) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Returns the row under `key`, creating it if absent.
+    pub fn row_mut(&mut self, key: &str) -> &mut Row {
+        self.rows.entry(key.to_owned()).or_default()
+    }
+
+    /// Removes an entire row, returning it.
+    pub fn delete_row(&mut self, key: &str) -> Option<Row> {
+        self.rows.remove(key)
+    }
+
+    /// Removes a single cell; drops the row if it becomes empty.
+    pub fn delete_cell(&mut self, key: &str, qualifier: &str) -> Option<Value> {
+        let row = self.rows.get_mut(key)?;
+        let old = row.delete(qualifier);
+        if row.is_empty() {
+            self.rows.remove(key);
+        }
+        old
+    }
+
+    /// Iterates `(row key, row)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Row)> {
+        self.rows.iter().map(|(k, r)| (k.as_str(), r))
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the family holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total number of populated cells across all rows.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.rows.values().map(Row::len).sum()
+    }
+}
+
+/// A table: a set of named column families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    families: BTreeMap<String, ColumnFamily>,
+}
+
+impl Table {
+    /// Creates a table with no column families.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the family named `name`, if present.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&ColumnFamily> {
+        self.families.get(name)
+    }
+
+    /// Returns the family named `name` mutably, if present.
+    pub fn family_mut(&mut self, name: &str) -> Option<&mut ColumnFamily> {
+        self.families.get_mut(name)
+    }
+
+    /// Adds an empty family; returns `false` if it already existed.
+    pub fn add_family(&mut self, name: &str) -> bool {
+        if self.families.contains_key(name) {
+            return false;
+        }
+        self.families.insert(name.to_owned(), ColumnFamily::new());
+        true
+    }
+
+    /// Returns `true` if a family named `name` exists.
+    #[must_use]
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.contains_key(name)
+    }
+
+    /// Iterates `(family name, family)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ColumnFamily)> {
+        self.families.iter().map(|(n, f)| (n.as_str(), f))
+    }
+
+    /// Names of all column families, in order.
+    #[must_use]
+    pub fn family_names(&self) -> Vec<&str> {
+        self.families.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_put_returns_old_value() {
+        let mut row = Row::new();
+        assert_eq!(row.put("q", Value::from(1.0), 1), None);
+        assert_eq!(row.put("q", Value::from(2.0), 2), Some(Value::from(1.0)));
+        assert_eq!(row.cell("q").unwrap().current().as_f64(), Some(2.0));
+        assert_eq!(
+            row.cell("q").unwrap().previous().unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn family_delete_cell_drops_empty_row() {
+        let mut fam = ColumnFamily::new();
+        fam.row_mut("r").put("q", Value::from(1.0), 1);
+        assert_eq!(fam.len(), 1);
+        assert_eq!(fam.delete_cell("r", "q"), Some(Value::from(1.0)));
+        assert!(fam.is_empty());
+        assert_eq!(fam.delete_cell("r", "q"), None);
+    }
+
+    #[test]
+    fn family_cell_count_sums_rows() {
+        let mut fam = ColumnFamily::new();
+        fam.row_mut("a").put("q1", Value::from(1.0), 1);
+        fam.row_mut("a").put("q2", Value::from(1.0), 1);
+        fam.row_mut("b").put("q1", Value::from(1.0), 1);
+        assert_eq!(fam.cell_count(), 3);
+    }
+
+    #[test]
+    fn table_add_family_idempotence() {
+        let mut t = Table::new();
+        assert!(t.add_family("f"));
+        assert!(!t.add_family("f"));
+        assert!(t.has_family("f"));
+        assert_eq!(t.family_names(), vec!["f"]);
+    }
+
+    #[test]
+    fn rows_iterate_in_key_order() {
+        let mut fam = ColumnFamily::new();
+        for k in ["b", "a", "c"] {
+            fam.row_mut(k).put("q", Value::from(0.0), 0);
+        }
+        let keys: Vec<&str> = fam.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the datastore invariants.
+
+use proptest::prelude::*;
+
+use smartflux_datastore::{ContainerRef, DataStore, ScanFilter, Value};
+
+/// An arbitrary sequence of puts into a single family.
+fn ops() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
+    prop::collection::vec((0u8..6, 0u8..4, -1e6f64..1e6), 1..60)
+}
+
+fn store() -> DataStore {
+    let s = DataStore::new();
+    s.ensure_container(&ContainerRef::family("t", "f"))
+        .expect("fresh store");
+    s
+}
+
+proptest! {
+    /// The store returns exactly the last value written per slot.
+    #[test]
+    fn last_write_wins(ops in ops()) {
+        let s = store();
+        let mut model = std::collections::HashMap::new();
+        for (row, qual, v) in &ops {
+            let row_key = format!("r{row}");
+            let qual_key = format!("q{qual}");
+            s.put("t", "f", &row_key, &qual_key, Value::from(*v)).unwrap();
+            model.insert((row_key, qual_key), *v);
+        }
+        for ((row, qual), expected) in &model {
+            let got = s.get("t", "f", row, qual).unwrap().unwrap();
+            prop_assert_eq!(got.as_f64(), Some(*expected));
+        }
+    }
+
+    /// Snapshot contents equal the set of current values.
+    #[test]
+    fn snapshot_matches_gets(ops in ops()) {
+        let s = store();
+        for (row, qual, v) in &ops {
+            s.put("t", "f", &format!("r{row}"), &format!("q{qual}"), Value::from(*v)).unwrap();
+        }
+        let snap = s.snapshot(&ContainerRef::family("t", "f")).unwrap();
+        prop_assert_eq!(snap.len(), s.cell_count(&ContainerRef::family("t", "f")).unwrap());
+        for ((row, qual), v) in snap.iter() {
+            let got = s.get("t", "f", row, qual).unwrap().unwrap();
+            prop_assert_eq!(&got, v);
+        }
+    }
+
+    /// A snapshot diffed against itself is empty; against the empty
+    /// snapshot it reports every slot as modified.
+    #[test]
+    fn diff_identity_and_totality(ops in ops()) {
+        let s = store();
+        for (row, qual, v) in &ops {
+            // Avoid zero values: inserting 0.0 diffs to magnitude 0 against
+            // the empty snapshot, which is fine but weakens the assertion.
+            let v = if *v == 0.0 { 1.0 } else { *v };
+            s.put("t", "f", &format!("r{row}"), &format!("q{qual}"), Value::from(v)).unwrap();
+        }
+        let snap = s.snapshot(&ContainerRef::family("t", "f")).unwrap();
+        prop_assert!(snap.diff(&snap.clone()).is_empty());
+        let from_empty = snap.diff(&smartflux_datastore::Snapshot::new());
+        prop_assert_eq!(from_empty.modified_count(), snap.len());
+    }
+
+    /// Versioned cells keep the previous value consistent with history.
+    #[test]
+    fn previous_version_tracks_writes(values in prop::collection::vec(-1e6f64..1e6, 2..20)) {
+        let s = store();
+        for v in &values {
+            s.put("t", "f", "r", "q", Value::from(*v)).unwrap();
+        }
+        let cell = s.get_versioned("t", "f", "r", "q").unwrap().unwrap();
+        prop_assert_eq!(cell.current().as_f64(), Some(values[values.len() - 1]));
+        prop_assert_eq!(
+            cell.previous().and_then(Value::as_f64),
+            Some(values[values.len() - 2])
+        );
+    }
+
+    /// Scans respect row-prefix filtering and never invent rows.
+    #[test]
+    fn scan_prefix_soundness(ops in ops()) {
+        let s = store();
+        for (row, qual, v) in &ops {
+            s.put("t", "f", &format!("r{row}"), &format!("q{qual}"), Value::from(*v)).unwrap();
+        }
+        let all = s.scan("t", "f", &ScanFilter::all()).unwrap();
+        let filtered = s.scan("t", "f", &ScanFilter::all().with_row_prefix("r1")).unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        for row in &filtered {
+            prop_assert!(row.key.starts_with("r1"));
+        }
+        let filtered_keys: Vec<&String> = filtered.iter().map(|r| &r.key).collect();
+        for row in &all {
+            if row.key.starts_with("r1") {
+                prop_assert!(filtered_keys.contains(&&row.key));
+            }
+        }
+    }
+
+    /// Deleting every written slot leaves the container empty.
+    #[test]
+    fn delete_restores_empty(ops in ops()) {
+        let s = store();
+        let mut slots = std::collections::HashSet::new();
+        for (row, qual, v) in &ops {
+            let r = format!("r{row}");
+            let q = format!("q{qual}");
+            s.put("t", "f", &r, &q, Value::from(*v)).unwrap();
+            slots.insert((r, q));
+        }
+        for (r, q) in &slots {
+            prop_assert!(s.delete("t", "f", r, q).unwrap().is_some());
+        }
+        prop_assert_eq!(s.cell_count(&ContainerRef::family("t", "f")).unwrap(), 0);
+    }
+}
+
+/// Concurrency: the store is `Send + Sync`; concurrent writers to distinct
+/// rows must all land, and observers must see every event exactly once.
+#[test]
+fn concurrent_writers_are_fully_observed() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let store = store();
+    let events = Arc::new(AtomicU64::new(0));
+    let e2 = Arc::clone(&events);
+    store.register_observer(Arc::new(move |_: &smartflux_datastore::WriteEvent| {
+        e2.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    const THREADS: usize = 8;
+    const WRITES: usize = 250;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            scope.spawn(move || {
+                for i in 0..WRITES {
+                    store
+                        .put(
+                            "t",
+                            "f",
+                            &format!("thread{t}-row{i}"),
+                            "v",
+                            Value::from((t * WRITES + i) as f64),
+                        )
+                        .expect("write succeeds");
+                }
+            });
+        }
+    });
+
+    assert_eq!(events.load(Ordering::SeqCst), (THREADS * WRITES) as u64);
+    assert_eq!(
+        store
+            .cell_count(&ContainerRef::family("t", "f"))
+            .expect("family exists"),
+        THREADS * WRITES
+    );
+}
+
+/// Concurrency: concurrent writers to the *same* cell serialise cleanly —
+/// the final value is one of the written values and the version history
+/// remains bounded and ordered.
+#[test]
+fn concurrent_writes_to_one_cell_serialise() {
+    let store = store();
+    const THREADS: usize = 8;
+    const WRITES: usize = 100;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            scope.spawn(move || {
+                for i in 0..WRITES {
+                    store
+                        .put("t", "f", "hot", "v", Value::from((t * WRITES + i) as f64))
+                        .expect("write succeeds");
+                }
+            });
+        }
+    });
+    let cell = store
+        .get_versioned("t", "f", "hot", "v")
+        .expect("family exists")
+        .expect("cell exists");
+    let current = cell.current().as_f64().expect("numeric");
+    assert!((0.0..(THREADS * WRITES) as f64).contains(&current));
+    // Timestamps in the retained history are strictly increasing.
+    let versions = cell.versions();
+    for pair in versions.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "timestamps must increase");
+    }
+}

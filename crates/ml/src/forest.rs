@@ -1,0 +1,427 @@
+//! Random Forests — the paper's default learning approach.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::tree::DecisionTree;
+use crate::Classifier;
+
+/// A Random Forest classifier: bagged decision trees with per-split feature
+/// subsampling, as in Breiman 2001.
+///
+/// The paper adopts RF as SmartFlux's default classifier because "default
+/// parameterization in RF often performs well"; the two knobs the paper
+/// calls out for recall/precision trading — the number of trees and the
+/// maximum tree depth — are exposed here, plus a decision threshold used by
+/// SmartFlux to optimise for recall (fewer missed `maxε` violations at the
+/// cost of extra executions).
+///
+/// # Example
+///
+/// ```
+/// use smartflux_ml::{Classifier, Dataset, RandomForest};
+///
+/// let data = Dataset::new(
+///     (0..40).map(|i| vec![i as f64, (40 - i) as f64]).collect(),
+///     (0..40).map(|i| i >= 20).collect(),
+/// ).unwrap();
+/// let mut rf = RandomForest::new(15).with_seed(42);
+/// rf.fit(&data).unwrap();
+/// assert!(rf.predict(&[35.0, 5.0]));
+/// assert!(!rf.predict(&[3.0, 37.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    min_samples_split: usize,
+    max_features: Option<usize>,
+    threshold: f64,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(50)
+    }
+}
+
+impl RandomForest {
+    /// A forest of `n_trees` trees with default depth (16) and `√d` feature
+    /// subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees` is zero.
+    #[must_use]
+    pub fn new(n_trees: usize) -> Self {
+        assert!(n_trees > 0, "a forest needs at least one tree");
+        Self {
+            n_trees,
+            max_depth: 16,
+            min_samples_split: 2,
+            max_features: None, // √d chosen at fit time
+            threshold: 0.5,
+            seed: 0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Sets the maximum depth of every tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "max depth must be positive");
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the number of features considered per split (default `√d`).
+    #[must_use]
+    pub fn with_max_features(mut self, k: usize) -> Self {
+        self.max_features = Some(k.max(1));
+        self
+    }
+
+    /// Sets the minimum number of instances required to split a node.
+    #[must_use]
+    pub fn with_min_samples_split(mut self, min: usize) -> Self {
+        self.min_samples_split = min.max(2);
+        self
+    }
+
+    /// Sets the probability threshold above which [`predict`] returns
+    /// positive.
+    ///
+    /// Thresholds below 0.5 bias the model toward recall — SmartFlux uses
+    /// this for workloads like LRB where missing a `maxε` violation is
+    /// costlier than a wasted execution.
+    ///
+    /// [`predict`]: Classifier::predict
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `(0, 1)`.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1)"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Seeds bootstrap sampling and feature subsampling.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of trees in the (fitted or configured) ensemble.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// The configured decision threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl RandomForest {
+    /// Split-frequency feature importance of the fitted forest: how often
+    /// each feature was chosen as a split, normalised to sum to 1.
+    ///
+    /// Useful for diagnosing which steps' impacts actually drive a
+    /// full-vector predictor. Returns `None` before fitting; returns a
+    /// uniform vector when the forest is all leaves.
+    #[must_use]
+    pub fn feature_importance(&self, n_features: usize) -> Option<Vec<f64>> {
+        if self.trees.is_empty() {
+            return None;
+        }
+        let mut counts = vec![0.0; n_features];
+        for tree in &self.trees {
+            if let Some(text) = tree.to_text() {
+                for line in text.lines() {
+                    if let Some(rest) = line.strip_prefix("S ") {
+                        if let Some(feature) = rest
+                            .split_whitespace()
+                            .next()
+                            .and_then(|f| f.parse::<usize>().ok())
+                        {
+                            if feature < n_features {
+                                counts[feature] += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        if total == 0.0 {
+            return Some(vec![1.0 / n_features as f64; n_features]);
+        }
+        Some(counts.into_iter().map(|c| c / total).collect())
+    }
+
+    /// Serialises the fitted forest into a versioned text form.
+    ///
+    /// Returns `None` before fitting.
+    #[must_use]
+    pub fn to_text(&self) -> Option<String> {
+        if self.trees.is_empty() {
+            return None;
+        }
+        let mut out = format!(
+            "forest v1 trees={} threshold={:e}\n",
+            self.trees.len(),
+            self.threshold
+        );
+        for tree in &self.trees {
+            out.push_str("tree\n");
+            out.push_str(&tree.to_text().expect("fitted forest holds fitted trees"));
+        }
+        Some(out)
+    }
+
+    /// Reconstructs a fitted forest from its [`to_text`](Self::to_text)
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty forest text")?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("forest") || fields.next() != Some("v1") {
+            return Err("bad forest header".into());
+        }
+        let mut n_trees = None;
+        let mut threshold = 0.5;
+        for field in fields {
+            if let Some(v) = field.strip_prefix("trees=") {
+                n_trees = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad tree count: {e}"))?,
+                );
+            } else if let Some(v) = field.strip_prefix("threshold=") {
+                threshold = v.parse().map_err(|e| format!("bad threshold: {e}"))?;
+            } else {
+                return Err(format!("unknown header field `{field}`"));
+            }
+        }
+        let n_trees = n_trees.ok_or("header missing tree count")?;
+        if n_trees == 0 {
+            return Err("forest must hold at least one tree".into());
+        }
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(format!("threshold {threshold} out of range"));
+        }
+
+        // Split the remainder on "tree" sentinel lines.
+        let mut chunks: Vec<String> = Vec::new();
+        for line in lines {
+            if line.trim() == "tree" {
+                chunks.push(String::new());
+            } else if let Some(current) = chunks.last_mut() {
+                current.push_str(line);
+                current.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err("tree data before first `tree` sentinel".into());
+            }
+        }
+        if chunks.len() != n_trees {
+            return Err(format!(
+                "header declared {n_trees} trees, found {}",
+                chunks.len()
+            ));
+        }
+        let trees = chunks
+            .iter()
+            .map(|c| DecisionTree::from_text(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            n_trees,
+            max_depth: 16,
+            min_samples_split: 2,
+            max_features: None,
+            threshold,
+            seed: 0,
+            trees,
+        })
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k = self
+            .max_features
+            .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
+            .max(1);
+        self.trees = (0..self.n_trees)
+            .map(|t| {
+                // Bootstrap sample (with replacement).
+                let sample: Vec<usize> = (0..data.len())
+                    .map(|_| rng.random_range(0..data.len()))
+                    .collect();
+                let boot = data.subset(&sample);
+                let mut tree = DecisionTree::new()
+                    .with_max_depth(self.max_depth)
+                    .with_min_samples_split(self.min_samples_split)
+                    .with_max_features(k)
+                    .with_seed(self.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9));
+                tree.fit(&boot).expect("bootstrap sample is non-empty");
+                tree
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded() -> Dataset {
+        // Positive iff x in [10, 20).
+        Dataset::new(
+            (0..30).map(|i| vec![i as f64]).collect(),
+            (0..30).map(|i| (10..20).contains(&i)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_a_band() {
+        let mut rf = RandomForest::new(30).with_seed(1);
+        rf.fit(&banded()).unwrap();
+        assert!(rf.predict(&[15.0]));
+        assert!(!rf.predict(&[25.0]));
+        assert!(!rf.predict(&[5.0]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = RandomForest::new(10).with_seed(99);
+        let mut b = RandomForest::new(10).with_seed(99);
+        a.fit(&banded()).unwrap();
+        b.fit(&banded()).unwrap();
+        for x in 0..30 {
+            assert_eq!(a.predict_proba(&[x as f64]), b.predict_proba(&[x as f64]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let mut a = RandomForest::new(5).with_seed(1);
+        let mut b = RandomForest::new(5).with_seed(2);
+        a.fit(&banded()).unwrap();
+        b.fit(&banded()).unwrap();
+        let differs = (0..300)
+            .map(|x| x as f64 / 10.0)
+            .any(|x| a.predict_proba(&[x]) != b.predict_proba(&[x]));
+        assert!(differs);
+    }
+
+    #[test]
+    fn lower_threshold_is_more_recall_hungry() {
+        let mut rf = RandomForest::new(20).with_seed(5);
+        rf.fit(&banded()).unwrap();
+        let p = rf.predict_proba(&[9.6]); // boundary region
+        let strict = p >= 0.5;
+        let recall_biased = p >= 0.2;
+        // The recall-biased cut never predicts negative where strict said positive.
+        assert!(recall_biased || !strict);
+    }
+
+    #[test]
+    fn unfitted_returns_prior() {
+        let rf = RandomForest::new(3);
+        assert_eq!(rf.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let _ = RandomForest::new(0);
+    }
+
+    #[test]
+    fn feature_importance_highlights_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 carries the signal.
+        let data = Dataset::new(
+            (0..60)
+                .map(|i| vec![i as f64, ((i * 7919) % 13) as f64])
+                .collect(),
+            (0..60).map(|i| i >= 30).collect(),
+        )
+        .unwrap();
+        let mut rf = RandomForest::new(20).with_seed(3);
+        rf.fit(&data).unwrap();
+        let imp = rf.feature_importance(2).unwrap();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "importance {imp:?}");
+        assert!(RandomForest::new(2).feature_importance(2).is_none());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_predictions() {
+        let mut rf = RandomForest::new(9).with_threshold(0.3).with_seed(2);
+        rf.fit(&banded()).unwrap();
+        let text = rf.to_text().unwrap();
+        let restored = RandomForest::from_text(&text).unwrap();
+        assert_eq!(restored.n_trees(), 9);
+        assert_eq!(restored.threshold(), 0.3);
+        for x in -10..40 {
+            let probe = [f64::from(x)];
+            assert_eq!(rf.predict_proba(&probe), restored.predict_proba(&probe));
+            assert_eq!(rf.predict(&probe), restored.predict(&probe));
+        }
+        assert!(RandomForest::new(3).to_text().is_none());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(RandomForest::from_text("").is_err());
+        assert!(RandomForest::from_text("forest v2 trees=1").is_err());
+        assert!(RandomForest::from_text("forest v1 trees=2 threshold=0.5\ntree\nL 0.5\n").is_err());
+        assert!(RandomForest::from_text("forest v1 trees=1 threshold=2.0\ntree\nL 0.5\n").is_err());
+        assert!(RandomForest::from_text("forest v1 trees=1 threshold=0.5\nL 0.5\n").is_err());
+    }
+
+    #[test]
+    fn probability_within_unit_interval() {
+        let mut rf = RandomForest::new(17).with_seed(3);
+        rf.fit(&banded()).unwrap();
+        for x in -50..80 {
+            let p = rf.predict_proba(&[x as f64]);
+            assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        }
+    }
+}

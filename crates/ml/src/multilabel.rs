@@ -1,0 +1,249 @@
+//! Multi-label classification via binary relevance (the MEKA role).
+
+use crate::dataset::MultiLabelDataset;
+use crate::error::MlError;
+use crate::Classifier;
+
+/// A multi-label classifier built from one binary classifier per label.
+///
+/// This is the transformation MEKA applies on top of WEKA in the paper: the
+/// shared feature vector (per-step input impacts for a wave) is fed to an
+/// independent copy of the base classifier per label column (per step), and
+/// the predictions are concatenated into the execution configuration `Y`
+/// of §3.1.
+///
+/// # Example
+///
+/// ```
+/// use smartflux_ml::{BinaryRelevance, MultiLabelDataset, RandomForest};
+///
+/// // Label 0 fires when feature 0 is high; label 1 when feature 1 is high.
+/// let data = MultiLabelDataset::new(
+///     (0..40).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect(),
+///     (0..40).map(|i| vec![(i % 10) >= 5, (i / 10) >= 2]).collect(),
+/// ).unwrap();
+///
+/// let mut model = BinaryRelevance::new(RandomForest::new(10).with_seed(1));
+/// model.fit(&data).unwrap();
+/// assert_eq!(model.predict(&[9.0, 0.0]), vec![true, false]);
+/// assert_eq!(model.predict(&[0.0, 3.0]), vec![false, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryRelevance<C> {
+    template: C,
+    models: Vec<C>,
+}
+
+impl<C> BinaryRelevance<C>
+where
+    C: Classifier + Clone,
+{
+    /// Creates a wrapper that clones `template` for each label at fit time.
+    #[must_use]
+    pub fn new(template: C) -> Self {
+        Self {
+            template,
+            models: Vec::new(),
+        }
+    }
+
+    /// Fits one model per label column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset and training errors from the base classifier.
+    pub fn fit(&mut self, data: &MultiLabelDataset) -> Result<(), MlError> {
+        let mut models = Vec::with_capacity(data.n_labels());
+        for j in 0..data.n_labels() {
+            let view = data.binary_view(j)?;
+            let mut model = self.template.clone();
+            model.fit(&view)?;
+            models.push(model);
+        }
+        self.models = models;
+        Ok(())
+    }
+
+    /// Number of fitted label models (0 before fitting).
+    #[must_use]
+    pub fn n_labels(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Per-label positive probabilities for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`fit`](Self::fit).
+    #[must_use]
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        assert!(!self.models.is_empty(), "model has not been fitted");
+        self.models
+            .iter()
+            .map(|m| m.predict_proba(features))
+            .collect()
+    }
+
+    /// Per-label hard predictions (each base model applies its own
+    /// threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`fit`](Self::fit).
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> Vec<bool> {
+        assert!(!self.models.is_empty(), "model has not been fitted");
+        self.models.iter().map(|m| m.predict(features)).collect()
+    }
+
+    /// The fitted model for label `j`, if fitted.
+    #[must_use]
+    pub fn label_model(&self, j: usize) -> Option<&C> {
+        self.models.get(j)
+    }
+}
+
+impl BinaryRelevance<crate::RandomForest> {
+    /// Serialises a fitted Random-Forest multi-label model into a versioned
+    /// text form (one forest block per label).
+    ///
+    /// Deployments that want to ship a trained SmartFlux model rather than
+    /// a training log can persist this next to the knowledge-base CSV.
+    /// Returns `None` before fitting.
+    #[must_use]
+    pub fn to_text(&self) -> Option<String> {
+        if self.models.is_empty() {
+            return None;
+        }
+        let mut out = format!("multilabel v1 labels={}\n", self.models.len());
+        for model in &self.models {
+            out.push_str("label\n");
+            out.push_str(&model.to_text()?);
+        }
+        Some(out)
+    }
+
+    /// Reconstructs a fitted multi-label model from its
+    /// [`to_text`](Self::to_text) form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty multilabel text")?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("multilabel") || fields.next() != Some("v1") {
+            return Err("bad multilabel header".into());
+        }
+        let labels: usize = fields
+            .next()
+            .and_then(|f| f.strip_prefix("labels="))
+            .ok_or("header missing label count")?
+            .parse()
+            .map_err(|e| format!("bad label count: {e}"))?;
+
+        let mut chunks: Vec<String> = Vec::new();
+        for line in lines {
+            if line.trim() == "label" {
+                chunks.push(String::new());
+            } else if let Some(current) = chunks.last_mut() {
+                current.push_str(line);
+                current.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err("model data before first `label` sentinel".into());
+            }
+        }
+        if chunks.len() != labels {
+            return Err(format!(
+                "header declared {labels} labels, found {}",
+                chunks.len()
+            ));
+        }
+        let models = chunks
+            .iter()
+            .map(|c| crate::RandomForest::from_text(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            template: crate::RandomForest::new(models.first().map_or(1, |m| m.n_trees())),
+            models,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForest;
+    use crate::tree::DecisionTree;
+
+    fn data() -> MultiLabelDataset {
+        MultiLabelDataset::new(
+            (0..60)
+                .map(|i| vec![(i % 12) as f64, (i / 12) as f64])
+                .collect(),
+            (0..60)
+                .map(|i| vec![(i % 12) >= 6, (i / 12) >= 3, i % 12 == 0])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fits_one_model_per_label() {
+        let mut m = BinaryRelevance::new(DecisionTree::new());
+        m.fit(&data()).unwrap();
+        assert_eq!(m.n_labels(), 3);
+        assert!(m.label_model(2).is_some());
+        assert!(m.label_model(3).is_none());
+    }
+
+    #[test]
+    fn labels_are_independent() {
+        let mut m = BinaryRelevance::new(RandomForest::new(15).with_seed(4));
+        m.fit(&data()).unwrap();
+        assert_eq!(m.predict(&[11.0, 0.0])[..2], [true, false]);
+        assert_eq!(m.predict(&[0.0, 4.0])[..2], [false, true]);
+    }
+
+    #[test]
+    fn probabilities_have_label_arity() {
+        let mut m = BinaryRelevance::new(DecisionTree::new());
+        m.fit(&data()).unwrap();
+        let p = m.predict_proba(&[3.0, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_predictions() {
+        let mut m = BinaryRelevance::new(RandomForest::new(7).with_seed(5));
+        m.fit(&data()).unwrap();
+        let text = m.to_text().unwrap();
+        let restored = BinaryRelevance::<RandomForest>::from_text(&text).unwrap();
+        assert_eq!(restored.n_labels(), 3);
+        for probe in [[0.0, 0.0], [11.0, 4.0], [6.0, 2.0]] {
+            assert_eq!(m.predict(&probe), restored.predict(&probe));
+            assert_eq!(m.predict_proba(&probe), restored.predict_proba(&probe));
+        }
+        let unfitted: BinaryRelevance<RandomForest> = BinaryRelevance::new(RandomForest::new(3));
+        assert!(unfitted.to_text().is_none());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(BinaryRelevance::<RandomForest>::from_text("").is_err());
+        assert!(BinaryRelevance::<RandomForest>::from_text("multilabel v2 labels=1").is_err());
+        assert!(BinaryRelevance::<RandomForest>::from_text(
+            "multilabel v1 labels=2\nlabel\nforest v1 trees=1 threshold=0.5\ntree\nL 0.5\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "has not been fitted")]
+    fn predicting_unfitted_panics() {
+        let m: BinaryRelevance<DecisionTree> = BinaryRelevance::new(DecisionTree::new());
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

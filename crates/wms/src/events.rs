@@ -1,0 +1,131 @@
+//! Scheduler notifications (the Oozie↔SmartFlux notification surface).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::graph::StepId;
+
+/// An event emitted by the scheduler as a wave progresses.
+///
+/// The paper extends Oozie with a notification scheme over Java RMI: Oozie
+/// notifies SmartFlux when a step finishes, and SmartFlux signals when a step
+/// should be triggered. These events are the equivalent surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerEvent {
+    /// A wave is starting.
+    WaveStarted {
+        /// Wave number, starting at 1.
+        wave: u64,
+    },
+    /// A step was triggered for execution.
+    StepTriggered {
+        /// Wave number.
+        wave: u64,
+        /// The triggered step.
+        step: StepId,
+    },
+    /// A step completed its execution.
+    StepCompleted {
+        /// Wave number.
+        wave: u64,
+        /// The completed step.
+        step: StepId,
+    },
+    /// A step was skipped (policy declined to trigger it).
+    StepSkipped {
+        /// Wave number.
+        wave: u64,
+        /// The skipped step.
+        step: StepId,
+    },
+    /// A step was deferred because not all predecessors have completed a
+    /// first execution yet.
+    StepDeferred {
+        /// Wave number.
+        wave: u64,
+        /// The deferred step.
+        step: StepId,
+    },
+    /// A wave finished.
+    WaveCompleted {
+        /// Wave number.
+        wave: u64,
+        /// Number of steps executed during the wave.
+        executed: usize,
+        /// Number of steps skipped during the wave.
+        skipped: usize,
+    },
+}
+
+/// A subscription to scheduler events.
+///
+/// Obtained from [`Scheduler::subscribe`]; events are buffered without bound
+/// until read.
+///
+/// [`Scheduler::subscribe`]: crate::Scheduler::subscribe
+#[derive(Debug)]
+pub struct EventSubscription {
+    receiver: Receiver<SchedulerEvent>,
+}
+
+impl EventSubscription {
+    /// Drains all events observed so far.
+    pub fn drain(&self) -> Vec<SchedulerEvent> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.receiver.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Receives the next event, if one is pending.
+    pub fn try_next(&self) -> Option<SchedulerEvent> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Internal fan-out of scheduler events to subscribers.
+#[derive(Debug, Default)]
+pub(crate) struct EventBus {
+    senders: Vec<Sender<SchedulerEvent>>,
+}
+
+impl EventBus {
+    pub(crate) fn subscribe(&mut self) -> EventSubscription {
+        let (tx, rx) = unbounded();
+        self.senders.push(tx);
+        EventSubscription { receiver: rx }
+    }
+
+    pub(crate) fn publish(&mut self, event: &SchedulerEvent) {
+        // Drop subscribers whose receivers are gone.
+        self.senders.retain(|s| s.send(event.clone()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let mut bus = EventBus::default();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        bus.publish(&SchedulerEvent::WaveStarted { wave: 1 });
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let mut bus = EventBus::default();
+        let a = bus.subscribe();
+        {
+            let _b = bus.subscribe();
+        }
+        bus.publish(&SchedulerEvent::WaveStarted { wave: 1 });
+        assert_eq!(bus.senders.len(), 1);
+        assert_eq!(a.try_next(), Some(SchedulerEvent::WaveStarted { wave: 1 }));
+        assert_eq!(a.try_next(), None);
+    }
+}

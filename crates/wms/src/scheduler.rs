@@ -1,0 +1,647 @@
+//! The wave-based scheduler.
+
+use std::time::Instant;
+
+use smartflux_datastore::DataStore;
+
+use crate::error::WmsError;
+use crate::events::{EventBus, EventSubscription, SchedulerEvent};
+use crate::graph::StepId;
+use crate::policy::TriggerPolicy;
+use crate::stats::ExecutionStats;
+use crate::step::{StepContext, StepError};
+use crate::workflow::Workflow;
+
+/// A wave (iteration) number; waves are numbered from 1.
+pub type WaveId = u64;
+
+/// What happened during one wave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveOutcome {
+    /// The wave that ran.
+    pub wave: WaveId,
+    /// Steps that executed, in execution (topological) order.
+    pub executed: Vec<StepId>,
+    /// Steps the policy skipped.
+    pub skipped: Vec<StepId>,
+    /// Steps deferred because a predecessor has never executed.
+    pub deferred: Vec<StepId>,
+}
+
+impl WaveOutcome {
+    /// Returns `true` if `step` executed this wave.
+    #[must_use]
+    pub fn did_execute(&self, step: StepId) -> bool {
+        self.executed.contains(&step)
+    }
+}
+
+/// Drives a [`Workflow`] through waves of continuous processing.
+///
+/// Each wave walks the DAG in topological order. For every step the
+/// scheduler applies the paper's triggering semantics:
+///
+/// 1. if any predecessor has never completed an execution, the step is
+///    *deferred* (not counted as a skip — it is simply not eligible yet);
+/// 2. if the step is marked always-run, it executes;
+/// 3. otherwise the [`TriggerPolicy`] decides.
+///
+/// Every decision is published as a [`SchedulerEvent`] and recorded in
+/// [`ExecutionStats`].
+pub struct Scheduler {
+    workflow: Workflow,
+    store: DataStore,
+    policy: Box<dyn TriggerPolicy>,
+    stats: ExecutionStats,
+    events: EventBus,
+    ever_executed: Vec<bool>,
+    next_wave: WaveId,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `workflow` over `store` using `policy`.
+    #[must_use]
+    pub fn new(workflow: Workflow, store: DataStore, policy: Box<dyn TriggerPolicy>) -> Self {
+        let n = workflow.graph().len();
+        Self {
+            workflow,
+            store,
+            policy,
+            stats: ExecutionStats::new(n),
+            events: EventBus::default(),
+            ever_executed: vec![false; n],
+            next_wave: 1,
+        }
+    }
+
+    /// The workflow being scheduled.
+    #[must_use]
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// The data store steps communicate through.
+    #[must_use]
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Accumulated execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+
+    /// Replaces the trigger policy (e.g. switching from a synchronous
+    /// training phase to the adaptive application phase), returning the old
+    /// one.
+    pub fn swap_policy(&mut self, policy: Box<dyn TriggerPolicy>) -> Box<dyn TriggerPolicy> {
+        std::mem::replace(&mut self.policy, policy)
+    }
+
+    /// Subscribes to scheduler events.
+    pub fn subscribe(&mut self) -> EventSubscription {
+        self.events.subscribe()
+    }
+
+    /// The number of the next wave to run.
+    #[must_use]
+    pub fn next_wave(&self) -> WaveId {
+        self.next_wave
+    }
+
+    /// Runs a single wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WmsError::UnboundStep`] if any step lacks an implementation
+    /// and [`WmsError::StepFailed`] if a step returns an error; the wave is
+    /// aborted at the failing step.
+    pub fn run_wave(&mut self) -> Result<WaveOutcome, WmsError> {
+        if let Some(id) = self.workflow.first_unbound() {
+            return Err(WmsError::UnboundStep(
+                self.workflow.graph().step_name(id).to_owned(),
+            ));
+        }
+        let wave = self.next_wave;
+        self.next_wave += 1;
+
+        self.events.publish(&SchedulerEvent::WaveStarted { wave });
+        self.policy.begin_wave(wave, &self.workflow);
+
+        let mut outcome = WaveOutcome {
+            wave,
+            executed: Vec::new(),
+            skipped: Vec::new(),
+            deferred: Vec::new(),
+        };
+
+        let order: Vec<StepId> = self.workflow.graph().topo_order().to_vec();
+        for step in order {
+            let preds_ready = self
+                .workflow
+                .graph()
+                .predecessors(step)
+                .iter()
+                .all(|p| self.ever_executed[p.index()]);
+            if !preds_ready {
+                self.stats.record_deferral(step);
+                outcome.deferred.push(step);
+                self.events
+                    .publish(&SchedulerEvent::StepDeferred { wave, step });
+                continue;
+            }
+
+            let info = self.workflow.info(step);
+            let trigger =
+                info.always_run() || self.policy.should_trigger(wave, step, &self.workflow);
+
+            if trigger {
+                self.events
+                    .publish(&SchedulerEvent::StepTriggered { wave, step });
+                let ctx = StepContext::new(
+                    self.store.clone(),
+                    wave,
+                    step,
+                    self.workflow.graph().step_name(step),
+                );
+                let implementation = self
+                    .workflow
+                    .info(step)
+                    .implementation()
+                    .expect("checked by first_unbound")
+                    .clone();
+                let start = Instant::now();
+                implementation
+                    .execute(&ctx)
+                    .map_err(|source| WmsError::StepFailed {
+                        step: self.workflow.graph().step_name(step).to_owned(),
+                        wave,
+                        source,
+                    })?;
+                self.stats.record_execution(step, start.elapsed());
+                self.ever_executed[step.index()] = true;
+                outcome.executed.push(step);
+                self.policy.step_completed(wave, step, &self.workflow);
+                self.events
+                    .publish(&SchedulerEvent::StepCompleted { wave, step });
+            } else {
+                self.stats.record_skip(step);
+                outcome.skipped.push(step);
+                self.policy.step_skipped(wave, step, &self.workflow);
+                self.events
+                    .publish(&SchedulerEvent::StepSkipped { wave, step });
+            }
+        }
+
+        self.policy.end_wave(wave, &self.workflow);
+        self.stats.record_wave();
+        self.events.publish(&SchedulerEvent::WaveCompleted {
+            wave,
+            executed: outcome.executed.len(),
+            skipped: outcome.skipped.len(),
+        });
+        Ok(outcome)
+    }
+
+    /// Runs `count` consecutive waves, returning each outcome.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing wave and returns its error.
+    pub fn run_waves(&mut self, count: u64) -> Result<Vec<WaveOutcome>, WmsError> {
+        let mut outcomes = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            outcomes.push(self.run_wave()?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs a single wave executing independent steps in parallel.
+    ///
+    /// Steps are processed level by level (a level being the set of steps
+    /// whose predecessors all belong to earlier levels — the natural
+    /// parallelism of the paper's Hadoop deployment). Trigger decisions are
+    /// still made sequentially in topological order, so adaptive policies
+    /// observe exactly the same state they would under [`run_wave`]; only
+    /// the `execute` calls of one level run concurrently, on scoped
+    /// threads.
+    ///
+    /// [`run_wave`]: Self::run_wave
+    ///
+    /// # Errors
+    ///
+    /// As [`run_wave`](Self::run_wave); if several steps of a level fail,
+    /// the error of the earliest step in topological order is returned and
+    /// the wave is aborted before later levels run.
+    pub fn run_wave_parallel(&mut self) -> Result<WaveOutcome, WmsError> {
+        if let Some(id) = self.workflow.first_unbound() {
+            return Err(WmsError::UnboundStep(
+                self.workflow.graph().step_name(id).to_owned(),
+            ));
+        }
+        let wave = self.next_wave;
+        self.next_wave += 1;
+
+        self.events.publish(&SchedulerEvent::WaveStarted { wave });
+        self.policy.begin_wave(wave, &self.workflow);
+
+        let mut outcome = WaveOutcome {
+            wave,
+            executed: Vec::new(),
+            skipped: Vec::new(),
+            deferred: Vec::new(),
+        };
+
+        for level in self.topological_levels() {
+            // Phase 1: sequential decisions for this level.
+            let mut to_run: Vec<StepId> = Vec::new();
+            for step in level {
+                let preds_ready = self
+                    .workflow
+                    .graph()
+                    .predecessors(step)
+                    .iter()
+                    .all(|p| self.ever_executed[p.index()]);
+                if !preds_ready {
+                    self.stats.record_deferral(step);
+                    outcome.deferred.push(step);
+                    self.events
+                        .publish(&SchedulerEvent::StepDeferred { wave, step });
+                    continue;
+                }
+                let info = self.workflow.info(step);
+                let trigger =
+                    info.always_run() || self.policy.should_trigger(wave, step, &self.workflow);
+                if trigger {
+                    self.events
+                        .publish(&SchedulerEvent::StepTriggered { wave, step });
+                    to_run.push(step);
+                } else {
+                    self.stats.record_skip(step);
+                    outcome.skipped.push(step);
+                    self.policy.step_skipped(wave, step, &self.workflow);
+                    self.events
+                        .publish(&SchedulerEvent::StepSkipped { wave, step });
+                }
+            }
+
+            // Phase 2: concurrent execution of the level's triggered steps.
+            let results: Vec<(StepId, Result<std::time::Duration, StepError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = to_run
+                        .iter()
+                        .map(|&step| {
+                            let implementation = self
+                                .workflow
+                                .info(step)
+                                .implementation()
+                                .expect("checked by first_unbound")
+                                .clone();
+                            let ctx = StepContext::new(
+                                self.store.clone(),
+                                wave,
+                                step,
+                                self.workflow.graph().step_name(step),
+                            );
+                            scope.spawn(move || {
+                                let start = Instant::now();
+                                implementation.execute(&ctx).map(|()| start.elapsed())
+                            })
+                        })
+                        .collect();
+                    to_run
+                        .iter()
+                        .zip(handles)
+                        .map(|(&step, h)| (step, h.join().expect("step thread must not panic")))
+                        .collect()
+                });
+
+            let mut first_error: Option<WmsError> = None;
+            for (step, result) in results {
+                match result {
+                    Ok(elapsed) => {
+                        self.stats.record_execution(step, elapsed);
+                        self.ever_executed[step.index()] = true;
+                        outcome.executed.push(step);
+                        self.policy.step_completed(wave, step, &self.workflow);
+                        self.events
+                            .publish(&SchedulerEvent::StepCompleted { wave, step });
+                    }
+                    Err(source) => {
+                        if first_error.is_none() {
+                            first_error = Some(WmsError::StepFailed {
+                                step: self.workflow.graph().step_name(step).to_owned(),
+                                wave,
+                                source,
+                            });
+                        }
+                    }
+                }
+            }
+            if let Some(err) = first_error {
+                return Err(err);
+            }
+        }
+
+        self.policy.end_wave(wave, &self.workflow);
+        self.stats.record_wave();
+        self.events.publish(&SchedulerEvent::WaveCompleted {
+            wave,
+            executed: outcome.executed.len(),
+            skipped: outcome.skipped.len(),
+        });
+        Ok(outcome)
+    }
+
+    /// Groups the DAG into topological levels: level 0 holds the sources,
+    /// level k the steps whose deepest predecessor sits in level k−1.
+    fn topological_levels(&self) -> Vec<Vec<StepId>> {
+        let graph = self.workflow.graph();
+        let mut depth = vec![0usize; graph.len()];
+        for &step in graph.topo_order() {
+            depth[step.index()] = graph
+                .predecessors(step)
+                .iter()
+                .map(|p| depth[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_depth + 1];
+        for &step in graph.topo_order() {
+            levels[depth[step.index()]].push(step);
+        }
+        levels
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workflow", &self.workflow)
+            .field("next_wave", &self.next_wave)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::policy::SynchronousPolicy;
+    use crate::step::{FnStep, StepError};
+    use smartflux_datastore::{ContainerRef, Value};
+
+    fn counter_step(table: &'static str, row: &'static str) -> impl crate::step::Step + 'static {
+        FnStep::new(move |ctx: &StepContext| {
+            let prev = ctx.get_f64(table, "f", row, "count", 0.0)?;
+            ctx.put(table, "f", row, "count", Value::from(prev + 1.0))?;
+            Ok(())
+        })
+    }
+
+    fn pipeline(policy: Box<dyn TriggerPolicy>) -> (Scheduler, StepId, StepId) {
+        let store = DataStore::new();
+        store
+            .ensure_container(&ContainerRef::family("t", "f"))
+            .unwrap();
+        let mut b = GraphBuilder::new("w");
+        let a = b.add_step("a");
+        let c = b.add_step("c");
+        b.add_edge(a, c).unwrap();
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(a, counter_step("t", "a")).source();
+        w.bind(c, counter_step("t", "c")).error_bound(0.1);
+        (Scheduler::new(w, store, policy), a, c)
+    }
+
+    #[test]
+    fn synchronous_runs_everything() {
+        let (mut s, a, c) = pipeline(Box::new(SynchronousPolicy));
+        s.run_waves(5).unwrap();
+        assert_eq!(s.stats().executions(a), 5);
+        assert_eq!(s.stats().executions(c), 5);
+        assert_eq!(s.stats().waves(), 5);
+        assert_eq!(
+            s.store().get("t", "f", "c", "count").unwrap(),
+            Some(Value::from(5.0))
+        );
+    }
+
+    /// A policy that skips a specific step always.
+    struct SkipStep(StepId);
+    impl TriggerPolicy for SkipStep {
+        fn should_trigger(&mut self, _w: u64, step: StepId, _wf: &Workflow) -> bool {
+            step != self.0
+        }
+    }
+
+    #[test]
+    fn skipped_steps_keep_last_output() {
+        let (mut s, a, c) = pipeline(Box::new(SynchronousPolicy));
+        s.run_waves(2).unwrap();
+        s.swap_policy(Box::new(SkipStep(c)));
+        s.run_waves(3).unwrap();
+        assert_eq!(s.stats().executions(a), 5);
+        assert_eq!(s.stats().executions(c), 2);
+        assert_eq!(s.stats().skips(c), 3);
+        // The stale output remains available — the SmartFlux contract.
+        assert_eq!(
+            s.store().get("t", "f", "c", "count").unwrap(),
+            Some(Value::from(2.0))
+        );
+    }
+
+    #[test]
+    fn downstream_deferred_until_predecessor_first_runs() {
+        // A workflow whose source is policy-managed (not always-run), so the
+        // downstream step starts out with a never-executed predecessor.
+        let store = DataStore::new();
+        store
+            .ensure_container(&ContainerRef::family("t", "f"))
+            .unwrap();
+        let mut b = GraphBuilder::new("w2");
+        let x = b.add_step("x");
+        let y = b.add_step("y");
+        b.add_edge(x, y).unwrap();
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(x, counter_step("t", "x"));
+        w.bind(y, counter_step("t", "y"));
+        let mut s2 = Scheduler::new(w, store, Box::new(SkipStep(x)));
+        let o = s2.run_wave().unwrap();
+        assert!(o.skipped.contains(&x));
+        assert!(o.deferred.contains(&y));
+        assert_eq!(s2.stats().deferrals(y), 1);
+        // Once x runs, y becomes eligible.
+        s2.swap_policy(Box::new(SynchronousPolicy));
+        let o2 = s2.run_wave().unwrap();
+        assert!(o2.did_execute(x));
+        assert!(o2.did_execute(y));
+    }
+
+    #[test]
+    fn unbound_step_errors() {
+        let store = DataStore::new();
+        let mut b = GraphBuilder::new("w");
+        b.add_step("lonely");
+        let w = Workflow::new(b.build().unwrap());
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        assert!(matches!(s.run_wave(), Err(WmsError::UnboundStep(_))));
+    }
+
+    #[test]
+    fn failing_step_aborts_wave() {
+        let store = DataStore::new();
+        let mut b = GraphBuilder::new("w");
+        let a = b.add_step("a");
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(
+            a,
+            FnStep::new(|_: &StepContext| Err(StepError::msg("boom"))),
+        )
+        .source();
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let err = s.run_wave().unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn events_trace_the_wave() {
+        let (mut s, _a, c) = pipeline(Box::new(SynchronousPolicy));
+        let sub = s.subscribe();
+        s.run_wave().unwrap();
+        let events = sub.drain();
+        assert!(matches!(
+            events.first(),
+            Some(SchedulerEvent::WaveStarted { wave: 1 })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(SchedulerEvent::WaveCompleted { executed: 2, .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedulerEvent::StepCompleted { step, .. } if *step == c)));
+    }
+
+    #[test]
+    fn parallel_wave_matches_sequential_results() {
+        // Two independent branches plus a join, run both ways over the same
+        // feed: final container state and statistics must agree.
+        fn build(store: &DataStore) -> Workflow {
+            store
+                .ensure_container(&ContainerRef::family("t", "f"))
+                .unwrap();
+            let mut b = GraphBuilder::new("par");
+            let src = b.add_step("src");
+            let left = b.add_step("left");
+            let right = b.add_step("right");
+            let join = b.add_step("join");
+            b.add_edge(src, left).unwrap();
+            b.add_edge(src, right).unwrap();
+            b.add_edge(left, join).unwrap();
+            b.add_edge(right, join).unwrap();
+            let mut w = Workflow::new(b.build().unwrap());
+            w.bind(
+                src,
+                FnStep::new(|ctx: &StepContext| {
+                    ctx.put("t", "f", "src", "v", Value::from(ctx.wave() as f64))?;
+                    Ok(())
+                }),
+            )
+            .source();
+            w.bind(
+                left,
+                FnStep::new(|ctx: &StepContext| {
+                    let v = ctx.get_f64("t", "f", "src", "v", 0.0)?;
+                    ctx.put("t", "f", "left", "v", Value::from(v * 2.0))?;
+                    Ok(())
+                }),
+            );
+            w.bind(
+                right,
+                FnStep::new(|ctx: &StepContext| {
+                    let v = ctx.get_f64("t", "f", "src", "v", 0.0)?;
+                    ctx.put("t", "f", "right", "v", Value::from(v + 10.0))?;
+                    Ok(())
+                }),
+            );
+            w.bind(
+                join,
+                FnStep::new(|ctx: &StepContext| {
+                    let l = ctx.get_f64("t", "f", "left", "v", 0.0)?;
+                    let r = ctx.get_f64("t", "f", "right", "v", 0.0)?;
+                    ctx.put("t", "f", "join", "v", Value::from(l + r))?;
+                    Ok(())
+                }),
+            );
+            w
+        }
+
+        let store_seq = DataStore::new();
+        let mut seq = Scheduler::new(
+            build(&store_seq),
+            store_seq.clone(),
+            Box::new(SynchronousPolicy),
+        );
+        let store_par = DataStore::new();
+        let mut par = Scheduler::new(
+            build(&store_par),
+            store_par.clone(),
+            Box::new(SynchronousPolicy),
+        );
+
+        for _ in 0..4 {
+            let a = seq.run_wave().unwrap();
+            let b = par.run_wave_parallel().unwrap();
+            assert_eq!(a.wave, b.wave);
+            assert_eq!(a.executed.len(), b.executed.len());
+        }
+        assert_eq!(
+            store_seq.snapshot(&ContainerRef::family("t", "f")).unwrap(),
+            store_par.snapshot(&ContainerRef::family("t", "f")).unwrap()
+        );
+        assert_eq!(
+            seq.stats().total_executions(),
+            par.stats().total_executions()
+        );
+    }
+
+    #[test]
+    fn parallel_wave_respects_policy_skips() {
+        let (mut s, _a, c) = pipeline(Box::new(SynchronousPolicy));
+        s.run_wave_parallel().unwrap();
+        s.swap_policy(Box::new(SkipStep(c)));
+        let o = s.run_wave_parallel().unwrap();
+        assert!(o.skipped.contains(&c));
+        assert!(!o.did_execute(c));
+    }
+
+    #[test]
+    fn parallel_wave_propagates_failures() {
+        let store = DataStore::new();
+        let mut b = GraphBuilder::new("boom");
+        let a = b.add_step("a");
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(
+            a,
+            FnStep::new(|_: &StepContext| Err(StepError::msg("parallel boom"))),
+        )
+        .source();
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let err = s.run_wave_parallel().unwrap_err();
+        assert!(err.to_string().contains("parallel boom"));
+    }
+
+    #[test]
+    fn wave_numbers_increase() {
+        let (mut s, ..) = pipeline(Box::new(SynchronousPolicy));
+        assert_eq!(s.next_wave(), 1);
+        let o1 = s.run_wave().unwrap();
+        let o2 = s.run_wave().unwrap();
+        assert_eq!(o1.wave, 1);
+        assert_eq!(o2.wave, 2);
+        assert_eq!(s.next_wave(), 3);
+    }
+}

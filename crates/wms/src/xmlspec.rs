@@ -1,0 +1,629 @@
+//! Declarative workflow specifications (the paper's extended Oozie XML).
+//!
+//! The paper integrates SmartFlux with Oozie by extending Oozie's XML
+//! workflow schema: a new element inside `<action>` specifies the data
+//! containers associated with the step and their error bounds (values from
+//! 0 to 1). This module provides the equivalent declarative format — a
+//! small self-contained XML subset, parsed without external dependencies —
+//! and instantiates [`Workflow`]s from it given step implementations.
+//!
+//! # Format
+//!
+//! ```xml
+//! <workflow name="fire-risk">
+//!   <action name="map-update" source="true">
+//!     <writes table="fire" family="sensors"/>
+//!   </action>
+//!   <action name="calculate-areas">
+//!     <reads table="fire" family="sensors"/>
+//!     <writes table="fire" family="areas"/>
+//!     <qod error-bound="0.05"/>
+//!   </action>
+//!   <flow from="map-update" to="calculate-areas"/>
+//! </workflow>
+//! ```
+//!
+//! `<reads>`/`<writes>` accept an optional `qualifier` attribute to address
+//! a single column instead of a whole family.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use smartflux_datastore::ContainerRef;
+
+use crate::error::GraphError;
+use crate::graph::GraphBuilder;
+use crate::step::Step;
+use crate::workflow::Workflow;
+
+/// Errors produced while parsing or instantiating a workflow spec.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The XML was malformed.
+    Xml(String),
+    /// A required attribute was missing.
+    MissingAttribute {
+        /// Element the attribute was expected on.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// An attribute failed to parse (e.g. a non-numeric bound).
+    BadAttribute {
+        /// Element carrying the attribute.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// The raw value.
+        value: String,
+    },
+    /// A `<flow>` referenced an undeclared action.
+    UnknownAction(String),
+    /// The flows formed an invalid graph.
+    Graph(GraphError),
+    /// No implementation was provided for an action.
+    UnboundAction(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Xml(msg) => write!(f, "malformed workflow XML: {msg}"),
+            SpecError::MissingAttribute { element, attribute } => {
+                write!(f, "element <{element}> is missing attribute `{attribute}`")
+            }
+            SpecError::BadAttribute {
+                element,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "attribute `{attribute}` of <{element}> has invalid value `{value}`"
+            ),
+            SpecError::UnknownAction(name) => write!(f, "flow references unknown action `{name}`"),
+            SpecError::Graph(e) => write!(f, "invalid workflow graph: {e}"),
+            SpecError::UnboundAction(name) => {
+                write!(f, "no implementation provided for action `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SpecError {
+    fn from(e: GraphError) -> Self {
+        SpecError::Graph(e)
+    }
+}
+
+/// One parsed `<action>` element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSpec {
+    /// Action (step) name.
+    pub name: String,
+    /// Whether the step always runs (`source="true"`).
+    pub source: bool,
+    /// Containers the step reads.
+    pub reads: Vec<ContainerRef>,
+    /// Containers the step writes.
+    pub writes: Vec<ContainerRef>,
+    /// The QoD error bound, if the action tolerates error.
+    pub error_bound: Option<f64>,
+}
+
+/// A parsed workflow specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowSpec {
+    /// Workflow name.
+    pub name: String,
+    /// Declared actions, in document order.
+    pub actions: Vec<ActionSpec>,
+    /// Dependency edges `(from, to)` by action name.
+    pub flows: Vec<(String, String)>,
+}
+
+impl WorkflowSpec {
+    /// Parses a workflow spec from its XML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first structural problem.
+    pub fn parse(xml: &str) -> Result<Self, SpecError> {
+        let root = parse_element(xml)?;
+        if root.name != "workflow" {
+            return Err(SpecError::Xml(format!(
+                "expected <workflow> root, found <{}>",
+                root.name
+            )));
+        }
+        let name = root.require_attr("name")?;
+
+        let mut actions = Vec::new();
+        let mut flows = Vec::new();
+        for child in &root.children {
+            match child.name.as_str() {
+                "action" => actions.push(Self::parse_action(child)?),
+                "flow" => {
+                    flows.push((child.require_attr("from")?, child.require_attr("to")?));
+                }
+                other => {
+                    return Err(SpecError::Xml(format!(
+                        "unexpected element <{other}> inside <workflow>"
+                    )))
+                }
+            }
+        }
+        Ok(Self {
+            name,
+            actions,
+            flows,
+        })
+    }
+
+    fn parse_action(el: &Element) -> Result<ActionSpec, SpecError> {
+        let name = el.require_attr("name")?;
+        let source = el
+            .attrs
+            .get("source")
+            .is_some_and(|v| v == "true" || v == "1");
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut error_bound = None;
+        for child in &el.children {
+            match child.name.as_str() {
+                "reads" | "writes" => {
+                    let table = child.require_attr("table")?;
+                    let family = child.require_attr("family")?;
+                    let container = match child.attrs.get("qualifier") {
+                        Some(q) => ContainerRef::column(table, family, q.clone()),
+                        None => ContainerRef::family(table, family),
+                    };
+                    if child.name == "reads" {
+                        reads.push(container);
+                    } else {
+                        writes.push(container);
+                    }
+                }
+                "qod" => {
+                    let raw = child.require_attr("error-bound")?;
+                    let bound: f64 = raw.parse().map_err(|_| SpecError::BadAttribute {
+                        element: "qod".into(),
+                        attribute: "error-bound".into(),
+                        value: raw.clone(),
+                    })?;
+                    if !(0.0..=1.0).contains(&bound) || !bound.is_finite() {
+                        return Err(SpecError::BadAttribute {
+                            element: "qod".into(),
+                            attribute: "error-bound".into(),
+                            value: raw,
+                        });
+                    }
+                    error_bound = Some(bound);
+                }
+                other => {
+                    return Err(SpecError::Xml(format!(
+                        "unexpected element <{other}> inside <action>"
+                    )))
+                }
+            }
+        }
+        Ok(ActionSpec {
+            name,
+            source,
+            reads,
+            writes,
+            error_bound,
+        })
+    }
+
+    /// Instantiates a [`Workflow`]: `resolve` supplies the implementation
+    /// for each action name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnboundAction`] if `resolve` returns `None` for
+    /// any action, [`SpecError::UnknownAction`] for dangling flows, and
+    /// graph-validation failures.
+    pub fn instantiate<F>(&self, mut resolve: F) -> Result<Workflow, SpecError>
+    where
+        F: FnMut(&str) -> Option<Arc<dyn Step>>,
+    {
+        let mut builder = GraphBuilder::new(self.name.clone());
+        let mut ids = HashMap::new();
+        for action in &self.actions {
+            ids.insert(action.name.clone(), builder.add_step(action.name.clone()));
+        }
+        for (from, to) in &self.flows {
+            let &f = ids
+                .get(from)
+                .ok_or_else(|| SpecError::UnknownAction(from.clone()))?;
+            let &t = ids
+                .get(to)
+                .ok_or_else(|| SpecError::UnknownAction(to.clone()))?;
+            builder.add_edge(f, t)?;
+        }
+        let graph = builder.build()?;
+
+        let mut workflow = Workflow::new(graph);
+        for action in &self.actions {
+            let implementation = resolve(&action.name)
+                .ok_or_else(|| SpecError::UnboundAction(action.name.clone()))?;
+            let id = ids[&action.name];
+            let mut binding = workflow.bind(id, ArcStep(implementation));
+            if action.source {
+                binding.source();
+            }
+            for c in &action.reads {
+                binding.reads(c.clone());
+            }
+            for c in &action.writes {
+                binding.writes(c.clone());
+            }
+            if let Some(bound) = action.error_bound {
+                binding.error_bound(bound);
+            }
+        }
+        Ok(workflow)
+    }
+}
+
+/// Adapter so resolved `Arc<dyn Step>` implementations satisfy `Step`.
+struct ArcStep(Arc<dyn Step>);
+
+impl Step for ArcStep {
+    fn execute(&self, ctx: &crate::step::StepContext) -> Result<(), crate::step::StepError> {
+        self.0.execute(ctx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal XML subset parser: elements, attributes (double-quoted),
+// self-closing tags, comments. No namespaces, entities, CDATA or text
+// content — workflow specs need none of those.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct Element {
+    name: String,
+    attrs: HashMap<String, String>,
+    children: Vec<Element>,
+}
+
+impl Element {
+    fn require_attr(&self, name: &str) -> Result<String, SpecError> {
+        self.attrs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SpecError::MissingAttribute {
+                element: self.name.clone(),
+                attribute: name.to_owned(),
+            })
+    }
+}
+
+struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+fn parse_element(xml: &str) -> Result<Element, SpecError> {
+    let mut p = XmlParser {
+        src: xml.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace_and_comments()?;
+    let root = p.element()?;
+    p.skip_whitespace_and_comments()?;
+    if p.pos != p.src.len() {
+        return Err(SpecError::Xml("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+impl XmlParser<'_> {
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), SpecError> {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"<!--") {
+                match find(self.src, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(SpecError::Xml("unterminated comment".into())),
+                }
+            } else if self.src[self.pos..].starts_with(b"<?") {
+                match find(self.src, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(SpecError::Xml("unterminated declaration".into())),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, SpecError> {
+        if self.pos >= self.src.len() || self.src[self.pos] != b'<' {
+            return Err(SpecError::Xml("expected `<`".into()));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attrs = HashMap::new();
+        loop {
+            self.skip_spaces();
+            match self.src.get(self.pos) {
+                Some(b'/') => {
+                    // Self-closing tag.
+                    self.pos += 1;
+                    if self.src.get(self.pos) != Some(&b'>') {
+                        return Err(SpecError::Xml(format!("bad self-closing tag <{name}>")));
+                    }
+                    self.pos += 1;
+                    return Ok(Element {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let (k, v) = self.attribute()?;
+                    attrs.insert(k, v);
+                }
+                None => return Err(SpecError::Xml(format!("unterminated tag <{name}>"))),
+            }
+        }
+
+        // Children until the matching close tag.
+        let mut children = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            if self.src[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(SpecError::Xml(format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_spaces();
+                if self.src.get(self.pos) != Some(&b'>') {
+                    return Err(SpecError::Xml(format!("bad close tag </{close}>")));
+                }
+                self.pos += 1;
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children,
+                });
+            }
+            children.push(self.element()?);
+        }
+    }
+
+    fn name(&mut self) -> Result<String, SpecError> {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric()
+                || self.src[self.pos] == b'-'
+                || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(SpecError::Xml("expected a name".into()));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), SpecError> {
+        let key = self.name()?;
+        self.skip_spaces();
+        if self.src.get(self.pos) != Some(&b'=') {
+            return Err(SpecError::Xml(format!("attribute `{key}` missing `=`")));
+        }
+        self.pos += 1;
+        self.skip_spaces();
+        if self.src.get(self.pos) != Some(&b'"') {
+            return Err(SpecError::Xml(format!("attribute `{key}` missing quotes")));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Err(SpecError::Xml(format!("unterminated value for `{key}`")));
+        }
+        let value = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok((key, value))
+    }
+
+    fn skip_spaces(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{FnStep, StepContext, StepError};
+    use smartflux_datastore::{DataStore, Value};
+
+    const SPEC: &str = r#"
+        <?xml version="1.0"?>
+        <!-- fire-risk pipeline -->
+        <workflow name="fire-risk">
+          <action name="map-update" source="true">
+            <writes table="fire" family="sensors"/>
+          </action>
+          <action name="calculate-areas">
+            <reads table="fire" family="sensors"/>
+            <writes table="fire" family="areas" qualifier="temp"/>
+            <qod error-bound="0.05"/>
+          </action>
+          <flow from="map-update" to="calculate-areas"/>
+        </workflow>
+    "#;
+
+    #[test]
+    fn parses_actions_flows_and_qod() {
+        let spec = WorkflowSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "fire-risk");
+        assert_eq!(spec.actions.len(), 2);
+        assert_eq!(
+            spec.flows,
+            vec![("map-update".into(), "calculate-areas".into())]
+        );
+
+        let ingest = &spec.actions[0];
+        assert!(ingest.source);
+        assert_eq!(ingest.writes, vec![ContainerRef::family("fire", "sensors")]);
+        assert_eq!(ingest.error_bound, None);
+
+        let areas = &spec.actions[1];
+        assert!(!areas.source);
+        assert_eq!(areas.reads, vec![ContainerRef::family("fire", "sensors")]);
+        assert_eq!(
+            areas.writes,
+            vec![ContainerRef::column("fire", "areas", "temp")]
+        );
+        assert_eq!(areas.error_bound, Some(0.05));
+    }
+
+    #[test]
+    fn instantiates_a_runnable_workflow() {
+        let spec = WorkflowSpec::parse(SPEC).unwrap();
+        let wf = spec
+            .instantiate(|name| {
+                let name = name.to_owned();
+                Some(Arc::new(FnStep::new(move |ctx: &StepContext| {
+                    ctx.put("fire", "log", &name, "ran", Value::from(1i64))?;
+                    Ok::<(), StepError>(())
+                })) as Arc<dyn Step>)
+            })
+            .unwrap();
+        assert_eq!(wf.graph().len(), 2);
+        let areas = wf.graph().step_id("calculate-areas").unwrap();
+        assert_eq!(wf.info(areas).error_bound(), Some(0.05));
+        assert!(wf
+            .info(wf.graph().step_id("map-update").unwrap())
+            .always_run());
+
+        // And it actually runs.
+        let store = DataStore::new();
+        store
+            .ensure_container(&ContainerRef::family("fire", "log"))
+            .unwrap();
+        let mut sched =
+            crate::Scheduler::new(wf, store.clone(), Box::new(crate::SynchronousPolicy));
+        sched.run_wave().unwrap();
+        assert!(store
+            .get("fire", "log", "map-update", "ran")
+            .unwrap()
+            .is_some());
+        assert!(store
+            .get("fire", "log", "calculate-areas", "ran")
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn missing_implementation_is_reported() {
+        let spec = WorkflowSpec::parse(SPEC).unwrap();
+        let err = spec.instantiate(|_| None).unwrap_err();
+        assert!(matches!(err, SpecError::UnboundAction(_)));
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let xml = r#"<workflow name="w">
+            <action name="a"><qod error-bound="1.5"/></action>
+        </workflow>"#;
+        assert!(matches!(
+            WorkflowSpec::parse(xml),
+            Err(SpecError::BadAttribute { .. })
+        ));
+        let xml = r#"<workflow name="w">
+            <action name="a"><qod error-bound="abc"/></action>
+        </workflow>"#;
+        assert!(matches!(
+            WorkflowSpec::parse(xml),
+            Err(SpecError::BadAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_structural_problems() {
+        assert!(matches!(
+            WorkflowSpec::parse("<pipeline name=\"x\"/>"),
+            Err(SpecError::Xml(_))
+        ));
+        assert!(matches!(
+            WorkflowSpec::parse("<workflow name=\"w\"><action/></workflow>"),
+            Err(SpecError::MissingAttribute { .. })
+        ));
+        // Dangling flow.
+        let xml = r#"<workflow name="w">
+            <action name="a"/>
+            <flow from="a" to="ghost"/>
+        </workflow>"#;
+        let spec = WorkflowSpec::parse(xml).unwrap();
+        let err = spec
+            .instantiate(|_| Some(Arc::new(FnStep::new(|_: &StepContext| Ok(()))) as Arc<dyn Step>))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownAction(_)));
+        // Cyclic flows.
+        let xml = r#"<workflow name="w">
+            <action name="a"/><action name="b"/>
+            <flow from="a" to="b"/><flow from="b" to="a"/>
+        </workflow>"#;
+        let spec = WorkflowSpec::parse(xml).unwrap();
+        let err = spec
+            .instantiate(|_| Some(Arc::new(FnStep::new(|_: &StepContext| Ok(()))) as Arc<dyn Step>))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Graph(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn xml_parser_edge_cases() {
+        // Mismatched close tag.
+        assert!(matches!(
+            WorkflowSpec::parse("<workflow name=\"w\"><action name=\"a\"></wrong></workflow>"),
+            Err(SpecError::Xml(_))
+        ));
+        // Unterminated comment.
+        assert!(matches!(
+            WorkflowSpec::parse("<!-- oops <workflow name=\"w\"/>"),
+            Err(SpecError::Xml(_))
+        ));
+        // Trailing garbage.
+        assert!(matches!(
+            WorkflowSpec::parse("<workflow name=\"w\"/><extra/>"),
+            Err(SpecError::Xml(_))
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the workflow-spec XML parser.
+
+use proptest::prelude::*;
+
+use smartflux_wms::WorkflowSpec;
+
+/// Generates well-formed workflow XML with random action/flow structure
+/// (flows only go forward, so the graph is always a DAG).
+fn workflow_xml() -> impl Strategy<Value = (String, usize, usize)> {
+    (2usize..8).prop_flat_map(|n| {
+        let flows = prop::collection::vec((0..n - 1, 1..n), 0..10).prop_map(move |raw| {
+            raw.into_iter()
+                .filter_map(|(a, b)| {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if lo == hi {
+                        None
+                    } else {
+                        Some((lo, hi))
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        let bounds = prop::collection::vec(proptest::option::of(0.0f64..=1.0), n);
+        (Just(n), flows, bounds).prop_map(|(n, flows, bounds)| {
+            let mut xml = String::from("<workflow name=\"generated\">\n");
+            for (i, bound) in bounds.iter().enumerate() {
+                xml.push_str(&format!(
+                    "  <action name=\"step{i}\"{}>\n",
+                    if i == 0 { " source=\"true\"" } else { "" }
+                ));
+                xml.push_str(&format!("    <writes table=\"t\" family=\"f{i}\"/>\n"));
+                if i > 0 {
+                    xml.push_str(&format!(
+                        "    <reads table=\"t\" family=\"f{}\" qualifier=\"v\"/>\n",
+                        i - 1
+                    ));
+                }
+                if let Some(b) = bound {
+                    xml.push_str(&format!("    <qod error-bound=\"{b}\"/>\n"));
+                }
+                xml.push_str("  </action>\n");
+            }
+            let flow_count = flows.len();
+            for (from, to) in &flows {
+                xml.push_str(&format!("  <flow from=\"step{from}\" to=\"step{to}\"/>\n"));
+            }
+            xml.push_str("</workflow>\n");
+            (xml, n, flow_count)
+        })
+    })
+}
+
+proptest! {
+    /// Well-formed specs parse and preserve their structure.
+    #[test]
+    fn generated_specs_parse((xml, actions, flows) in workflow_xml()) {
+        let spec = WorkflowSpec::parse(&xml).expect("generated XML is valid");
+        prop_assert_eq!(spec.name, "generated");
+        prop_assert_eq!(spec.actions.len(), actions);
+        prop_assert!(spec.flows.len() <= flows);
+        prop_assert!(spec.actions[0].source);
+        for action in &spec.actions {
+            if let Some(b) = action.error_bound {
+                prop_assert!((0.0..=1.0).contains(&b));
+            }
+            prop_assert!(!action.writes.is_empty());
+        }
+    }
+
+    /// Parsing is total over arbitrary input: Ok or Err, never a panic.
+    #[test]
+    fn parse_never_panics(src in ".{0,200}") {
+        let _ = WorkflowSpec::parse(&src);
+    }
+
+    /// Generated forward-flow specs always instantiate into valid DAG
+    /// workflows when every action resolves.
+    #[test]
+    fn generated_specs_instantiate((xml, actions, _flows) in workflow_xml()) {
+        use smartflux_wms::{FnStep, Step, StepContext};
+        use std::sync::Arc;
+        let spec = WorkflowSpec::parse(&xml).expect("valid");
+        let wf = spec
+            .instantiate(|_| {
+                Some(Arc::new(FnStep::new(|_: &StepContext| Ok(()))) as Arc<dyn Step>)
+            })
+            .expect("forward flows form a DAG");
+        prop_assert_eq!(wf.graph().len(), actions);
+        prop_assert!(wf.first_unbound().is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Linear Road tolling (§5.1, Fig. 5) under SmartFlux, evaluated against
+//! its synchronous twin.
+//!
+//! Uses the twin-run evaluation harness to quantify, wave by wave, how far
+//! the adaptive toll classes drift from the ground truth, and how many
+//! executions the 5% QoD bound saves.
+//!
+//! Run with: `cargo run --release --example lrb_tolling`
+
+use smartflux::eval::{evaluate, EvalPolicy};
+use smartflux::{EngineConfig, MetricKind, ModelKind};
+use smartflux_workloads::lrb::{classify_qod_spec, LrbFactory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bound = 0.05;
+    let factory = LrbFactory::with_bound(bound);
+
+    let config = EngineConfig::new()
+        .with_training_waves(480) // two simulated traffic days
+        .with_model(ModelKind::recall_optimised())
+        .with_quality_gates(0.0, 0.0)
+        .with_step_spec("classify", classify_qod_spec())
+        .with_seed(17);
+
+    println!("training SmartFlux on 480 synchronous waves, then 240 adaptive waves…");
+    let report = evaluate(
+        &factory,
+        EvalPolicy::SmartFlux(Box::new(config)),
+        240,
+        MetricKind::MeanRelative,
+    )?;
+
+    println!(
+        "\ntoll-class deviation from the synchronous twin (bound {:.0}%):",
+        bound * 100.0
+    );
+    println!("{:>6} {:>10} {:>10}", "wave", "error", "status");
+    for w in report.waves.iter().step_by(24) {
+        println!(
+            "{:>6} {:>10.4} {:>10}",
+            w.wave,
+            w.measured_error,
+            if w.compliant { "ok" } else { "VIOLATION" }
+        );
+    }
+
+    println!(
+        "\nsummary: {:.1}% of executions performed ({:.1}% saved), confidence {:.1}%, {} violations",
+        report.normalized_executions() * 100.0,
+        (1.0 - report.normalized_executions()) * 100.0,
+        report.confidence.confidence() * 100.0,
+        report.confidence.violations()
+    );
+
+    if let Some(engine) = &report.engine {
+        engine.with(|e| {
+            println!("\nper-step adaptive execution rates:");
+            let app: Vec<_> = e.diagnostics().iter().filter(|d| !d.training).collect();
+            for (j, name) in e.qod_step_names().iter().enumerate() {
+                let rate =
+                    app.iter().filter(|d| d.decisions[j]).count() as f64 / app.len().max(1) as f64;
+                println!("  {name:<18} {:>5.1}%", rate * 100.0);
+            }
+        });
+    }
+    Ok(())
+}

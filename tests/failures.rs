@@ -1,0 +1,149 @@
+//! Integration: failure injection — failing steps, aborted waves, and
+//! recovery semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smartflux::{EngineConfig, SmartFluxSession};
+use smartflux_datastore::{ContainerRef, DataStore, Value};
+use smartflux_wms::{
+    FnStep, GraphBuilder, Scheduler, StepContext, StepError, SynchronousPolicy, Workflow,
+};
+
+/// A two-step workflow whose second step fails on the given waves.
+fn flaky_workflow(store: &DataStore, fail_on: &'static [u64]) -> Workflow {
+    store
+        .ensure_container(&ContainerRef::family("t", "f"))
+        .expect("fresh store");
+    let mut g = GraphBuilder::new("flaky");
+    let src = g.add_step("src");
+    let flaky = g.add_step("flaky");
+    g.add_edge(src, flaky).expect("valid edge");
+    let mut wf = Workflow::new(g.build().expect("DAG"));
+    wf.bind(
+        src,
+        FnStep::new(|ctx: &StepContext| {
+            ctx.put("t", "f", "src", "v", Value::from(ctx.wave() as f64))?;
+            Ok(())
+        }),
+    )
+    .source()
+    .writes(ContainerRef::family("t", "f"));
+    wf.bind(
+        flaky,
+        FnStep::new(move |ctx: &StepContext| {
+            if fail_on.contains(&ctx.wave()) {
+                return Err(StepError::msg("injected failure"));
+            }
+            ctx.put("t", "f", "flaky", "v", Value::from(ctx.wave() as f64))?;
+            Ok(())
+        }),
+    )
+    .reads(ContainerRef::family("t", "f"))
+    .writes(ContainerRef::family("t", "f"))
+    .error_bound(0.1);
+    wf
+}
+
+#[test]
+fn failing_step_reports_wave_and_step() {
+    let store = DataStore::new();
+    let wf = flaky_workflow(&store, &[2]);
+    let mut sched = Scheduler::new(wf, store, Box::new(SynchronousPolicy));
+    sched.run_wave().expect("wave 1 is clean");
+    let err = sched.run_wave().expect_err("wave 2 fails");
+    let msg = err.to_string();
+    assert!(msg.contains("flaky"), "{msg}");
+    assert!(msg.contains("wave 2"), "{msg}");
+    assert!(msg.contains("injected failure"), "{msg}");
+}
+
+#[test]
+fn scheduler_recovers_after_a_failed_wave() {
+    let store = DataStore::new();
+    let wf = flaky_workflow(&store, &[2]);
+    let mut sched = Scheduler::new(wf, store.clone(), Box::new(SynchronousPolicy));
+    sched.run_wave().expect("wave 1");
+    assert!(sched.run_wave().is_err());
+    // The failed wave consumed its number; processing continues at wave 3.
+    let outcome = sched.run_wave().expect("wave 3 is clean");
+    assert_eq!(outcome.wave, 3);
+    assert_eq!(
+        store.get("t", "f", "flaky", "v").expect("family exists"),
+        Some(Value::from(3.0))
+    );
+    // Executions of the failed attempt were not recorded for the failing step.
+    let flaky_id = sched.workflow().graph().step_id("flaky").expect("exists");
+    assert_eq!(sched.stats().executions(flaky_id), 2); // waves 1 and 3
+}
+
+#[test]
+fn failure_aborts_remaining_steps_of_the_wave() {
+    let store = DataStore::new();
+    store
+        .ensure_container(&ContainerRef::family("t", "f"))
+        .expect("fresh store");
+    let mut g = GraphBuilder::new("abort");
+    let a = g.add_step("a");
+    let boom = g.add_step("boom");
+    let c = g.add_step("c");
+    g.add_chain(&[a, boom, c]).expect("valid chain");
+    let mut wf = Workflow::new(g.build().expect("DAG"));
+    let c_runs = Arc::new(AtomicU64::new(0));
+    let c_runs2 = Arc::clone(&c_runs);
+    wf.bind(a, FnStep::new(|_: &StepContext| Ok(()))).source();
+    wf.bind(
+        boom,
+        FnStep::new(|_: &StepContext| Err(StepError::msg("boom"))),
+    );
+    wf.bind(
+        c,
+        FnStep::new(move |_: &StepContext| {
+            c_runs2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }),
+    );
+    let mut sched = Scheduler::new(wf, store, Box::new(SynchronousPolicy));
+    assert!(sched.run_wave().is_err());
+    assert_eq!(
+        c_runs.load(Ordering::SeqCst),
+        0,
+        "steps after the failure must not run"
+    );
+}
+
+#[test]
+fn smartflux_session_surfaces_training_phase_failures() {
+    let store = DataStore::new();
+    let wf = flaky_workflow(&store, &[3]);
+    let config = EngineConfig::new()
+        .with_training_waves(10)
+        .with_quality_gates(0.0, 0.0);
+    let mut session = SmartFluxSession::new(wf, store, config).expect("bounded steps exist");
+    session.run_wave().expect("wave 1");
+    session.run_wave().expect("wave 2");
+    let err = session.run_wave().expect_err("wave 3 fails");
+    assert!(err.to_string().contains("injected failure"));
+    // The session remains usable afterwards.
+    session.run_wave().expect("wave 4");
+}
+
+#[test]
+fn store_level_errors_become_step_failures() {
+    let store = DataStore::new();
+    let mut g = GraphBuilder::new("bad-table");
+    let a = g.add_step("a");
+    let mut wf = Workflow::new(g.build().expect("DAG"));
+    wf.bind(
+        a,
+        FnStep::new(|ctx: &StepContext| {
+            // The table was never created.
+            ctx.put("ghost", "f", "r", "q", Value::from(1.0))?;
+            Ok(())
+        }),
+    )
+    .source();
+    let mut sched = Scheduler::new(wf, store, Box::new(SynchronousPolicy));
+    let err = sched.run_wave().expect_err("missing table fails the step");
+    assert!(err.to_string().contains("data store"), "{err}");
+}

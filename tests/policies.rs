@@ -1,0 +1,202 @@
+//! Integration: the twin-run evaluation harness across trigger policies.
+
+use smartflux::eval::{evaluate, EvalPolicy};
+use smartflux::{EngineConfig, ImpactCombiner, MetricKind, ModelKind, QodSpec};
+use smartflux_workloads::aqhi::{AqhiConfig, AqhiFactory};
+use smartflux_workloads::lrb::{classify_qod_spec, LrbConfig, LrbFactory};
+
+fn aqhi(bound: f64) -> AqhiFactory {
+    AqhiFactory {
+        config: AqhiConfig {
+            grid: 4,
+            zone_size: 2,
+            bound,
+            ..AqhiConfig::default()
+        },
+    }
+}
+
+fn lrb(bound: f64) -> LrbFactory {
+    LrbFactory {
+        config: LrbConfig {
+            xways: 2,
+            segments: 10,
+            vehicles: 60,
+            query_slots: 6,
+            bound,
+            ..LrbConfig::default()
+        },
+    }
+}
+
+fn smartflux_config() -> EngineConfig {
+    let spec = QodSpec::new().with_combiner(ImpactCombiner::Max);
+    EngineConfig::new()
+        .with_training_waves(168)
+        .with_model(ModelKind::RandomForest {
+            trees: 30,
+            max_depth: 10,
+            threshold: 0.4,
+        })
+        .with_quality_gates(0.0, 0.0)
+        .with_default_spec(spec)
+        .with_seed(11)
+}
+
+#[test]
+fn sync_policy_never_deviates() {
+    let report = evaluate(&aqhi(0.05), EvalPolicy::Sync, 48, MetricKind::MeanRelative)
+        .expect("evaluation succeeds");
+    assert!(report.waves.iter().all(|w| w.measured_error == 0.0));
+    assert_eq!(report.confidence.confidence(), 1.0);
+    assert_eq!(report.normalized_executions(), 1.0);
+}
+
+#[test]
+fn seq_policies_save_their_nominal_fraction() {
+    for n in [2u64, 5] {
+        let report = evaluate(
+            &aqhi(0.05),
+            EvalPolicy::EveryN { n },
+            100,
+            MetricKind::MeanRelative,
+        )
+        .expect("evaluation succeeds");
+        let expected = 1.0 / n as f64;
+        assert!(
+            (report.normalized_executions() - expected).abs() < 0.05,
+            "seq{n}: {}",
+            report.normalized_executions()
+        );
+    }
+}
+
+#[test]
+fn oracle_dominates_naive_policies_on_confidence() {
+    let waves = 168;
+    let oracle = evaluate(
+        &aqhi(0.05),
+        EvalPolicy::Oracle,
+        waves,
+        MetricKind::MeanRelative,
+    )
+    .expect("oracle run succeeds");
+    let seq3 = evaluate(
+        &aqhi(0.05),
+        EvalPolicy::EveryN { n: 3 },
+        waves,
+        MetricKind::MeanRelative,
+    )
+    .expect("seq3 run succeeds");
+    assert!(
+        oracle.confidence.confidence() >= seq3.confidence.confidence(),
+        "oracle {} vs seq3 {}",
+        oracle.confidence.confidence(),
+        seq3.confidence.confidence()
+    );
+    assert!(
+        oracle.normalized_executions() < 1.0,
+        "oracle should save something"
+    );
+}
+
+#[test]
+fn smartflux_saves_resources_with_bounded_error_on_aqhi() {
+    // The full-size grid is exercised by the benchmark harness; a 6×6 grid
+    // keeps this integration test quick while staying above the regime
+    // where single zone flips dominate the index.
+    let factory = AqhiFactory {
+        config: AqhiConfig {
+            grid: 6,
+            zone_size: 2,
+            bound: 0.10,
+            ..AqhiConfig::default()
+        },
+    };
+    let report = evaluate(
+        &factory,
+        EvalPolicy::SmartFlux(Box::new(smartflux_config())),
+        168,
+        MetricKind::MeanRelative,
+    )
+    .expect("smartflux run succeeds");
+    assert!(
+        report.normalized_executions() < 1.0,
+        "no savings: {}",
+        report.normalized_executions()
+    );
+    assert!(
+        report.confidence.confidence() > 0.75,
+        "confidence {}",
+        report.confidence.confidence()
+    );
+}
+
+#[test]
+fn smartflux_beats_random_on_lrb_confidence() {
+    let mut config = smartflux_config();
+    config = config.with_step_spec("classify", classify_qod_spec());
+    config.training_waves = 240;
+    let waves = 120;
+    let smart = evaluate(
+        &lrb(0.05),
+        EvalPolicy::SmartFlux(Box::new(config)),
+        waves,
+        MetricKind::MeanRelative,
+    )
+    .expect("smartflux run succeeds");
+    let random = evaluate(
+        &lrb(0.05),
+        EvalPolicy::Random { seed: 3 },
+        waves,
+        MetricKind::MeanRelative,
+    )
+    .expect("random run succeeds");
+    assert!(
+        smart.confidence.confidence() >= random.confidence.confidence(),
+        "smartflux {} vs random {}",
+        smart.confidence.confidence(),
+        random.confidence.confidence()
+    );
+}
+
+#[test]
+fn higher_bounds_do_not_cost_more_executions() {
+    let strict = evaluate(
+        &aqhi(0.05),
+        EvalPolicy::Oracle,
+        168,
+        MetricKind::MeanRelative,
+    )
+    .expect("strict run succeeds");
+    let loose = evaluate(
+        &aqhi(0.20),
+        EvalPolicy::Oracle,
+        168,
+        MetricKind::MeanRelative,
+    )
+    .expect("loose run succeeds");
+    assert!(
+        loose.normalized_executions() <= strict.normalized_executions() + 0.02,
+        "loose {} vs strict {}",
+        loose.normalized_executions(),
+        strict.normalized_executions()
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let run = || {
+        evaluate(
+            &aqhi(0.10),
+            EvalPolicy::SmartFlux(Box::new(smartflux_config())),
+            48,
+            MetricKind::MeanRelative,
+        )
+        .expect("run succeeds")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.waves, b.waves);
+    assert_eq!(a.confidence.series(), b.confidence.series());
+}

@@ -1,0 +1,40 @@
+//! Criterion bench for the Monitoring hot path: attributing one store
+//! write to the watched containers. The (table, family) index keeps the
+//! per-write cost flat as the watch list grows; before it, attribution
+//! scanned every watched container on every mutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use smartflux::Monitor;
+use smartflux_datastore::{ContainerRef, DataStore, Value};
+
+fn bench_on_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_on_write");
+    for &watched in &[4usize, 64, 512] {
+        let store = DataStore::new();
+        let monitor = Monitor::new();
+        for i in 0..watched {
+            let fam = ContainerRef::family("t", format!("f{i}"));
+            store.ensure_container(&fam).expect("fresh store");
+            monitor.watch(fam);
+        }
+        monitor.attach(&store);
+        group.bench_with_input(BenchmarkId::new("watched", watched), &watched, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                store
+                    .put("t", "f0", "r", "q", Value::from(i as f64))
+                    .expect("watched family exists");
+                black_box(i)
+            });
+        });
+        let target = ContainerRef::family("t", "f0");
+        black_box(monitor.total_writes(&target));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_write);
+criterion_main!(benches);

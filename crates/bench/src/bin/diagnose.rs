@@ -6,15 +6,118 @@
 //! all show up here before they show up as low confidence.
 //!
 //! Run with: `cargo run --release -p smartflux-bench --bin diagnose [bound]`
+//!
+//! Pass `--json` for machine-readable output: one JSON object per workload
+//! per line, carrying the run summary, the model quality, the full
+//! telemetry snapshot (counters + latency histograms) and — with
+//! `--journal <dir>` — the path of the wave-decision journal written for
+//! the run.
+
+use std::path::PathBuf;
 
 use smartflux::eval::EvalPolicy;
 use smartflux_bench::{pct, Workload};
+use smartflux_telemetry::json_string;
+
+struct Args {
+    bound: f64,
+    json: bool,
+    journal_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        bound: 0.05,
+        json: false,
+        journal_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => out.json = true,
+            "--journal" => {
+                out.journal_dir = args.next().map(PathBuf::from);
+                assert!(out.journal_dir.is_some(), "--journal needs a directory");
+            }
+            other => {
+                if let Ok(b) = other.parse() {
+                    out.bound = b;
+                } else {
+                    eprintln!("usage: diagnose [bound] [--json] [--journal <dir>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn run_json(args: &Args) {
+    if let Some(dir) = &args.journal_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "diagnose: cannot create journal directory {}: {e}",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+    }
+    for wl in [Workload::Lrb, Workload::Aqhi] {
+        let oracle = wl.evaluate_policy(args.bound, EvalPolicy::Oracle, wl.application_waves());
+
+        let mut config = wl.engine_config(args.bound).with_telemetry(true);
+        if let Some(dir) = &args.journal_dir {
+            config = config.with_journal_path(dir.join(format!("{}-journal.jsonl", wl.id())));
+        }
+        let report = wl.evaluate_policy(
+            args.bound,
+            EvalPolicy::SmartFlux(Box::new(config)),
+            wl.application_waves(),
+        );
+
+        let quality = report
+            .engine
+            .as_ref()
+            .and_then(|e| e.with(|e| e.predictor().quality()));
+        let quality_json = quality.map_or_else(
+            || "null".to_owned(),
+            |q| {
+                format!(
+                    "{{\"accuracy\":{},\"precision\":{},\"recall\":{}}}",
+                    q.accuracy, q.precision, q.recall
+                )
+            },
+        );
+        let journal_json = report.telemetry.journal_path().map_or_else(
+            || "null".to_owned(),
+            |p| json_string(&p.display().to_string()),
+        );
+        println!(
+            "{{\"workload\":{},\"bound\":{},\"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
+             \"smartflux\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
+             \"model_quality\":{},\"journal_path\":{},\"telemetry\":{}}}",
+            json_string(wl.id()),
+            args.bound,
+            oracle.normalized_executions(),
+            oracle.confidence.confidence(),
+            oracle.confidence.violations(),
+            report.normalized_executions(),
+            report.confidence.confidence(),
+            report.confidence.violations(),
+            quality_json,
+            journal_json,
+            report.telemetry.snapshot().to_json(),
+        );
+    }
+}
 
 fn main() {
-    let bound: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+    let args = parse_args();
+    if args.json {
+        run_json(&args);
+        return;
+    }
+    let bound = args.bound;
 
     for wl in [Workload::Lrb, Workload::Aqhi] {
         println!("\n════ {} @ bound {} ════", wl.id(), pct(bound));

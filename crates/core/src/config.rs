@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use crate::knowledge::KnowledgeBase;
 use crate::predictor::ModelKind;
@@ -54,6 +55,16 @@ pub struct EngineConfig {
     /// this many application waves the engine automatically starts a fresh
     /// training phase. `None` disables the schedule.
     pub retraining_interval: Option<u64>,
+    /// Whether the unified telemetry subsystem (metrics registry, spans,
+    /// wave-decision journal) is live. Disabled by default: every
+    /// instrumentation site then costs a single relaxed atomic load.
+    pub telemetry_enabled: bool,
+    /// When set (and telemetry is enabled), the session attaches a JSONL
+    /// sink writing one [`WaveDecisionRecord`] per wave per QoD step to
+    /// this path.
+    ///
+    /// [`WaveDecisionRecord`]: smartflux_telemetry::WaveDecisionRecord
+    pub journal_path: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +81,8 @@ impl Default for EngineConfig {
             per_step_specs: HashMap::new(),
             initial_knowledge: None,
             retraining_interval: None,
+            telemetry_enabled: false,
+            journal_path: None,
         }
     }
 }
@@ -166,6 +179,22 @@ impl EngineConfig {
     pub fn with_training_extensions(mut self, max: usize, waves_each: usize) -> Self {
         self.max_training_extensions = max;
         self.extension_waves = waves_each.max(1);
+        self
+    }
+
+    /// Turns the telemetry subsystem on or off (off by default).
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry_enabled = enabled;
+        self
+    }
+
+    /// Enables telemetry and writes the wave-decision journal to `path`
+    /// as JSON lines (one record per wave per QoD step).
+    #[must_use]
+    pub fn with_journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.telemetry_enabled = true;
+        self.journal_path = Some(path.into());
         self
     }
 }

@@ -23,8 +23,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use smartflux_datastore::{ContainerRef, DataStore, Snapshot};
+use smartflux_telemetry::{names, Telemetry, WaveDecisionRecord};
 use smartflux_wms::{StepId, TriggerPolicy, Workflow};
 
+use crate::confidence::ConfidenceTracker;
 use crate::config::EngineConfig;
 use crate::error::CoreError;
 use crate::knowledge::KnowledgeBase;
@@ -121,6 +123,10 @@ pub struct QodEngine {
     current_impacts: Vec<f64>,
     /// Decisions of the current wave (diagnostics).
     current_decisions: Vec<bool>,
+    /// Per-step running bound-compliance confidence (Fig. 10), updated on
+    /// waves with ground truth (training) and carried into journal records.
+    confidence: Vec<ConfidenceTracker>,
+    telemetry: Telemetry,
     diagnostics: Vec<WaveDiagnostics>,
     training_extensions_used: usize,
     quality_met: bool,
@@ -245,6 +251,8 @@ impl QodEngine {
             monitor,
             current_impacts: vec![0.0; n],
             current_decisions: vec![true; n],
+            confidence: vec![ConfidenceTracker::new(); n],
+            telemetry: Telemetry::disabled(),
             diagnostics: Vec::new(),
             training_extensions_used: 0,
             quality_met,
@@ -295,6 +303,28 @@ impl QodEngine {
         self.quality_met
     }
 
+    /// Attaches a telemetry handle; the engine then feeds the impact /
+    /// predict / train latency histograms and emits one
+    /// [`WaveDecisionRecord`] per wave per QoD step to the journal.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry handle (an inert disabled handle unless one
+    /// was attached).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Per-step running confidence trackers, in feature/label order (the
+    /// cumulative fraction of ground-truth waves where `maxε` held —
+    /// Fig. 10).
+    #[must_use]
+    pub fn confidence_trackers(&self) -> &[ConfidenceTracker] {
+        &self.confidence
+    }
+
     /// Requests a fresh training phase of `waves` waves starting at the next
     /// wave — the paper's on-demand retraining "useful if data patterns
     /// start to change suddenly".
@@ -315,6 +345,7 @@ impl QodEngine {
     /// baseline can have moved, so the recomputation is skipped (§4's
     /// Monitoring exists precisely to make this cheap).
     fn compute_impact(&mut self, idx: usize) -> f64 {
+        let _span = self.telemetry.span(names::IMPACT_LATENCY, idx as u64);
         let spec = self.steps[idx].spec.clone();
         let monitor = self.monitor.clone();
         let mut per_container = Vec::with_capacity(self.steps[idx].inputs.len());
@@ -461,6 +492,14 @@ impl QodEngine {
             }
         }
 
+        // Ground truth exists on training waves: fold bound compliance into
+        // the per-step confidence series (Fig. 10). A fired label means the
+        // measured ε exceeded maxε this wave.
+        for (idx, fired) in labels.iter().enumerate() {
+            self.confidence[idx].record(!*fired);
+        }
+        self.journal_wave(wave, "training", &impacts, &labels, Some(&errors));
+
         self.diagnostics.push(WaveDiagnostics {
             wave,
             impacts,
@@ -474,10 +513,44 @@ impl QodEngine {
         }
     }
 
+    /// Emits one [`WaveDecisionRecord`] per QoD step for this wave. No-op
+    /// when telemetry is disabled or no journal sink is attached, so the
+    /// per-wave cost without a journal is one atomic load.
+    fn journal_wave(
+        &self,
+        wave: u64,
+        phase: &'static str,
+        impacts: &[f64],
+        predicted: &[bool],
+        errors: Option<&[f64]>,
+    ) {
+        if !self.telemetry.is_enabled() || !self.telemetry.has_journal_sinks() {
+            return;
+        }
+        for (idx, step) in self.steps.iter().enumerate() {
+            self.telemetry.journal(&WaveDecisionRecord {
+                wave,
+                phase,
+                step: step.name.clone(),
+                step_index: idx,
+                impacts: impacts.to_vec(),
+                predicted: predicted.to_vec(),
+                executed: predicted[idx],
+                confidence: self.confidence[idx].confidence(),
+                max_epsilon: step.bound.value(),
+                measured_epsilon: errors.map(|e| e[idx]),
+            });
+        }
+    }
+
     /// Builds the model, runs the test phase, and either enters the
     /// application phase or extends training.
     fn finish_training(&mut self, wave: u64) {
-        match self.predictor.train(&self.kb) {
+        let trained = {
+            let _span = self.telemetry.span(names::TRAIN_LATENCY, wave);
+            self.predictor.train(&self.kb)
+        };
+        match trained {
             Ok(quality) => {
                 let gates_met = quality.accuracy >= self.config.min_accuracy
                     && quality.recall >= self.config.min_recall;
@@ -528,7 +601,10 @@ impl TriggerPolicy for QodEngine {
             Phase::Application => {
                 self.current_impacts[idx] = self.compute_impact(idx);
                 let features = self.current_impacts.clone();
-                let decision = self.predictor.predict_step(idx, &features).unwrap_or(true); // fail safe: execute
+                let decision = {
+                    let _span = self.telemetry.span(names::PREDICT_LATENCY, idx as u64);
+                    self.predictor.predict_step(idx, &features).unwrap_or(true) // fail safe: execute
+                };
                 self.current_decisions[idx] = decision;
                 decision
             }
@@ -552,6 +628,13 @@ impl TriggerPolicy for QodEngine {
             }
             Phase::Application => {
                 self.roll_wave_snapshots();
+                self.journal_wave(
+                    wave,
+                    "application",
+                    &self.current_impacts,
+                    &self.current_decisions,
+                    None,
+                );
                 self.diagnostics.push(WaveDiagnostics {
                     wave,
                     impacts: self.current_impacts.clone(),

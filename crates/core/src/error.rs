@@ -48,6 +48,8 @@ pub enum CoreError {
     NoQodSteps,
     /// A configuration referenced a step name the workflow does not have.
     UnknownStep(String),
+    /// Opening the telemetry journal sink failed.
+    Journal(std::io::Error),
 }
 
 impl fmt::Display for CoreError {
@@ -80,6 +82,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownStep(name) => {
                 write!(f, "configuration references unknown step `{name}`")
             }
+            CoreError::Journal(e) => write!(f, "failed to open telemetry journal: {e}"),
         }
     }
 }
@@ -90,6 +93,7 @@ impl Error for CoreError {
             CoreError::Store(e) => Some(e),
             CoreError::Workflow(e) => Some(e),
             CoreError::Ml(e) => Some(e),
+            CoreError::Journal(e) => Some(e),
             _ => None,
         }
     }

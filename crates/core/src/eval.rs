@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use smartflux_datastore::{ContainerRef, DataStore, Snapshot};
+use smartflux_telemetry::Telemetry;
 use smartflux_wms::{Scheduler, StepId, SynchronousPolicy, TriggerPolicy, Workflow};
 
 use crate::confidence::ConfidenceTracker;
@@ -101,6 +102,10 @@ pub struct EvalReport {
     /// The engine, for SmartFlux runs (training diagnostics, knowledge
     /// base, predictor quality).
     pub engine: Option<SharedEngine>,
+    /// The adaptive run's telemetry handle. Inert unless the SmartFlux
+    /// config enabled telemetry; then it carries the metrics snapshot and
+    /// journal path of the run.
+    pub telemetry: Telemetry,
 }
 
 impl EvalReport {
@@ -280,6 +285,7 @@ pub fn evaluate<F: WorkloadFactory>(
         .collect();
 
     let mut engine_handle = None;
+    let mut telemetry = Telemetry::disabled();
     let mut training_waves = 0u64;
     let (policy_name, trigger): (String, Box<dyn TriggerPolicy>) = match &policy {
         EvalPolicy::Sync => ("sync".into(), Box::new(SynchronousPolicy)),
@@ -305,8 +311,10 @@ pub fn evaluate<F: WorkloadFactory>(
         }
         EvalPolicy::SmartFlux(config) => {
             training_waves = config.training_waves as u64;
-            let engine =
+            telemetry = crate::session::telemetry_for(config, &adapt_store)?;
+            let mut engine =
                 QodEngine::from_workflow(&adapt_wf, adapt_store.clone(), (**config).clone())?;
+            engine.set_telemetry(telemetry.clone());
             let shared = SharedEngine::new(engine);
             engine_handle = Some(shared.clone());
             ("smartflux".into(), Box::new(shared))
@@ -314,6 +322,7 @@ pub fn evaluate<F: WorkloadFactory>(
     };
 
     let mut adapt_sched = Scheduler::new(adapt_wf, adapt_store.clone(), trigger);
+    adapt_sched.set_telemetry(telemetry.clone());
 
     // Training prologue for SmartFlux: run both twins synchronously. The
     // engine flips itself to the application phase (possibly extending
@@ -395,12 +404,14 @@ pub fn evaluate<F: WorkloadFactory>(
         });
     }
 
+    telemetry.flush();
     Ok(EvalReport {
         workload: factory.name().to_owned(),
         policy: policy_name,
         waves: records,
         confidence,
         engine: engine_handle,
+        telemetry,
     })
 }
 

@@ -65,3 +65,10 @@ pub use policy::{EveryNPolicy, RandomSkipPolicy};
 pub use predictor::{FeatureMode, ModelKind, Predictor, PredictorQuality};
 pub use qod::{AccumulationMode, ErrorBound, ImpactCombiner, QodSpec};
 pub use session::SmartFluxSession;
+
+// Re-export the telemetry surface so applications need only this crate to
+// consume metrics snapshots and journals.
+pub use smartflux_telemetry::{
+    names as telemetry_names, read_journal, JsonlSink, MemoryJournal, MetricsSnapshot, Telemetry,
+    WaveDecisionRecord,
+};

@@ -21,7 +21,21 @@ struct ContainerCounters {
 
 #[derive(Debug, Default)]
 struct MonitorState {
-    counters: HashMap<ContainerRef, ContainerCounters>,
+    /// Watched containers with their counters, in watch order.
+    entries: Vec<(ContainerRef, ContainerCounters)>,
+    /// `table → family → entry positions`: lets [`Monitor::on_write`]
+    /// attribute a mutation by two hash lookups plus a qualifier check on
+    /// the (typically tiny) per-family list, instead of scanning every
+    /// watched container on every write.
+    by_family: HashMap<String, HashMap<String, Vec<usize>>>,
+    /// Exact-container lookup for the read-side accessors.
+    index: HashMap<ContainerRef, usize>,
+}
+
+impl MonitorState {
+    fn counters(&self, container: &ContainerRef) -> Option<&ContainerCounters> {
+        self.index.get(container).map(|&i| &self.entries[i].1)
+    }
 }
 
 /// Observes store mutations and attributes them to watched containers.
@@ -65,7 +79,19 @@ impl Monitor {
     /// Adds a container to the watch list. Watching the same container
     /// twice is a no-op.
     pub fn watch(&self, container: ContainerRef) {
-        self.state.lock().counters.entry(container).or_default();
+        let mut s = self.state.lock();
+        if s.index.contains_key(&container) {
+            return;
+        }
+        let pos = s.entries.len();
+        s.by_family
+            .entry(container.table().to_owned())
+            .or_default()
+            .entry(container.family_name().to_owned())
+            .or_default()
+            .push(pos);
+        s.index.insert(container.clone(), pos);
+        s.entries.push((container, ContainerCounters::default()));
     }
 
     /// Registers this monitor as an observer on `store`. Keep the returned
@@ -79,7 +105,7 @@ impl Monitor {
     /// ones are kept.
     pub fn begin_wave(&self) {
         let mut s = self.state.lock();
-        for c in s.counters.values_mut() {
+        for (_, c) in &mut s.entries {
             c.writes_this_wave = 0;
             c.magnitude_this_wave = 0.0;
         }
@@ -91,8 +117,7 @@ impl Monitor {
     pub fn is_dirty(&self, container: &ContainerRef) -> bool {
         self.state
             .lock()
-            .counters
-            .get(container)
+            .counters(container)
             .is_some_and(|c| c.writes_this_wave > 0)
     }
 
@@ -101,8 +126,7 @@ impl Monitor {
     pub fn writes_this_wave(&self, container: &ContainerRef) -> u64 {
         self.state
             .lock()
-            .counters
-            .get(container)
+            .counters(container)
             .map_or(0, |c| c.writes_this_wave)
     }
 
@@ -111,8 +135,7 @@ impl Monitor {
     pub fn total_writes(&self, container: &ContainerRef) -> u64 {
         self.state
             .lock()
-            .counters
-            .get(container)
+            .counters(container)
             .map_or(0, |c| c.total_writes)
     }
 
@@ -123,29 +146,46 @@ impl Monitor {
     pub fn magnitude_this_wave(&self, container: &ContainerRef) -> f64 {
         self.state
             .lock()
-            .counters
-            .get(container)
+            .counters(container)
             .map_or(0.0, |c| c.magnitude_this_wave)
     }
 
-    /// All watched containers.
+    /// All watched containers, in watch order.
     #[must_use]
     pub fn watched(&self) -> Vec<ContainerRef> {
-        self.state.lock().counters.keys().cloned().collect()
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect()
     }
 }
 
 impl WriteObserver for Monitor {
     fn on_write(&self, event: &WriteEvent) {
+        // Hot path: one event per store mutation. The (table, family) index
+        // narrows the candidates to the containers over the written family —
+        // a family-level watcher plus any column-level ones — so cost no
+        // longer grows with the total number of watched containers.
         let mut s = self.state.lock();
+        let s = &mut *s;
+        let Some(positions) = s
+            .by_family
+            .get(&event.table)
+            .and_then(|families| families.get(&event.family))
+        else {
+            return;
+        };
         let magnitude = match (&event.old, &event.new) {
             (Some(o), Some(n)) => n.abs_diff(o),
             (None, Some(n)) => n.as_f64().map_or(1.0, f64::abs),
             (Some(o), None) => o.as_f64().map_or(1.0, f64::abs),
             (None, None) => 0.0,
         };
-        for (container, counters) in &mut s.counters {
-            if container.matches_write(&event.table, &event.family, &event.qualifier) {
+        for &pos in positions {
+            let (container, counters) = &mut s.entries[pos];
+            if container.qualifier().is_none_or(|q| q == event.qualifier) {
                 counters.writes_this_wave += 1;
                 counters.total_writes += 1;
                 counters.magnitude_this_wave += magnitude;
@@ -217,13 +257,52 @@ mod tests {
         let store = DataStore::new();
         let fam = ContainerRef::family("t", "f");
         let col = ContainerRef::column("t", "f", "a");
+        let other_col = ContainerRef::column("t", "f", "b");
         store.ensure_container(&fam).unwrap();
         let m = Monitor::new();
         m.watch(fam.clone());
         m.watch(col.clone());
+        m.watch(other_col.clone());
         m.attach(&store);
         store.put("t", "f", "r", "a", Value::from(2.0)).unwrap();
         assert_eq!(m.writes_this_wave(&fam), 1);
         assert_eq!(m.writes_this_wave(&col), 1);
+        assert_eq!(m.writes_this_wave(&other_col), 0);
+        assert_eq!(m.magnitude_this_wave(&fam), 2.0);
+        assert_eq!(m.magnitude_this_wave(&col), 2.0);
+    }
+
+    #[test]
+    fn duplicate_watch_does_not_double_count() {
+        let (store, m, c) = setup();
+        m.watch(c.clone());
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        assert_eq!(m.writes_this_wave(&c), 1);
+        assert_eq!(m.watched().len(), 1);
+    }
+
+    #[test]
+    fn attribution_is_exact_with_many_watched_containers() {
+        let store = DataStore::new();
+        let m = Monitor::new();
+        let mut fams = Vec::new();
+        for i in 0..50 {
+            let fam = ContainerRef::family("t", format!("f{i}"));
+            store.ensure_container(&fam).unwrap();
+            m.watch(fam.clone());
+            m.watch(ContainerRef::column("t", format!("f{i}"), "q"));
+            fams.push(fam);
+        }
+        m.attach(&store);
+        store.put("t", "f7", "r", "q", Value::from(3.0)).unwrap();
+        store
+            .put("t", "f7", "r", "other", Value::from(1.0))
+            .unwrap();
+        for (i, fam) in fams.iter().enumerate() {
+            let expected = u64::from(i == 7) * 2;
+            assert_eq!(m.writes_this_wave(fam), expected, "family f{i}");
+            let col = ContainerRef::column("t", format!("f{i}"), "q");
+            assert_eq!(m.writes_this_wave(&col), u64::from(i == 7), "column f{i}:q");
+        }
     }
 }

@@ -1,6 +1,10 @@
 //! The user-facing session: store + WMS + engine, wired together.
 
-use smartflux_datastore::DataStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smartflux_datastore::{DataStore, OpKind};
+use smartflux_telemetry::{names, JsonlSink, Telemetry};
 use smartflux_wms::{Scheduler, WaveOutcome, Workflow};
 
 use crate::config::EngineConfig;
@@ -59,27 +63,47 @@ use crate::predictor::PredictorQuality;
 pub struct SmartFluxSession {
     scheduler: Scheduler,
     engine: SharedEngine,
+    telemetry: Telemetry,
 }
 
 impl SmartFluxSession {
     /// Creates a session over `workflow` and `store`.
     ///
+    /// When [`EngineConfig::telemetry_enabled`] is set, one [`Telemetry`]
+    /// handle is shared by the scheduler (wave/step latency, execution
+    /// counters), the engine (impact/predict/train latency, wave-decision
+    /// journal), and the store (read/write counters and latency via an op
+    /// observer). With telemetry off — the default — every instrumentation
+    /// site short-circuits on one relaxed atomic load.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoQodSteps`] if the workflow declares no error
-    /// bounds.
+    /// bounds, and [`CoreError::Journal`] if
+    /// [`EngineConfig::journal_path`] cannot be created.
     pub fn new(
         workflow: Workflow,
         store: DataStore,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        let engine = QodEngine::from_workflow(&workflow, store.clone(), config)?;
+        let telemetry = telemetry_for(&config, &store)?;
+        let mut engine = QodEngine::from_workflow(&workflow, store.clone(), config)?;
+        engine.set_telemetry(telemetry.clone());
         let shared = SharedEngine::new(engine);
-        let scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        let mut scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        scheduler.set_telemetry(telemetry.clone());
         Ok(Self {
             scheduler,
             engine: shared,
+            telemetry,
         })
+    }
+
+    /// The session's telemetry handle: metrics snapshot, journal, spans.
+    /// Inert (disabled) unless [`EngineConfig::telemetry_enabled`] was set.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The engine's current phase.
@@ -219,6 +243,51 @@ impl SmartFluxSession {
     pub fn request_training(&mut self, waves: usize) {
         let next = self.scheduler.next_wave();
         self.engine.with_mut(|e| e.request_training(next, waves));
+    }
+}
+
+/// Builds the telemetry handle `config` asks for and wires the store's op
+/// observer: a disabled (inert) handle when telemetry is off, otherwise an
+/// enabled handle with the optional JSONL journal sink attached and store
+/// read/write counters and latency histograms fed by an [`OpKind`]
+/// observer. Shared by [`SmartFluxSession::new`] and the evaluation
+/// harness.
+pub(crate) fn telemetry_for(
+    config: &EngineConfig,
+    store: &DataStore,
+) -> Result<Telemetry, CoreError> {
+    let telemetry = if config.telemetry_enabled {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    if let Some(path) = &config.journal_path {
+        let sink = JsonlSink::create(path).map_err(CoreError::Journal)?;
+        telemetry.add_journal_sink(Arc::new(sink));
+    }
+    if telemetry.is_enabled() {
+        let t = telemetry.clone();
+        store.register_op_observer(Arc::new(move |op: OpKind, elapsed: Duration| {
+            if !t.is_enabled() {
+                return;
+            }
+            if op.is_write() {
+                t.counter(names::STORE_WRITES).incr();
+                t.histogram(names::STORE_WRITE_LATENCY).record(elapsed);
+            } else {
+                t.counter(names::STORE_READS).incr();
+                t.histogram(names::STORE_READ_LATENCY).record(elapsed);
+            }
+        }));
+    }
+    Ok(telemetry)
+}
+
+impl Drop for SmartFluxSession {
+    fn drop(&mut self) {
+        // Journal sinks buffer; make sure records reach disk even when the
+        // caller never flushes explicitly.
+        self.telemetry.flush();
     }
 }
 

@@ -64,7 +64,9 @@ mod value;
 pub use cell::{Timestamp, VersionedCell};
 pub use container::ContainerRef;
 pub use error::StoreError;
-pub use observer::{ObserverHandle, WriteEvent, WriteKind, WriteObserver};
+pub use observer::{
+    ObserverHandle, OpKind, OpObserver, OpObserverHandle, WriteEvent, WriteKind, WriteObserver,
+};
 pub use scan::{RowScan, ScanFilter};
 pub use snapshot::{SlotChange, Snapshot, SnapshotDiff};
 pub use store::DataStore;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::value::Value;
 
@@ -112,6 +113,140 @@ impl ObserverBus {
 impl fmt::Debug for ObserverBus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ObserverBus")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// The kind of store operation an [`OpObserver`] is notified about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Single-cell read ([`DataStore::get`]).
+    ///
+    /// [`DataStore::get`]: crate::DataStore::get
+    Get,
+    /// Versioned-cell read ([`DataStore::get_versioned`]).
+    ///
+    /// [`DataStore::get_versioned`]: crate::DataStore::get_versioned
+    GetVersioned,
+    /// Row scan ([`DataStore::scan`]).
+    ///
+    /// [`DataStore::scan`]: crate::DataStore::scan
+    Scan,
+    /// Container snapshot ([`DataStore::snapshot`]).
+    ///
+    /// [`DataStore::snapshot`]: crate::DataStore::snapshot
+    Snapshot,
+    /// Cell insert/update ([`DataStore::put`]).
+    ///
+    /// [`DataStore::put`]: crate::DataStore::put
+    Put,
+    /// Cell removal ([`DataStore::delete`]).
+    ///
+    /// [`DataStore::delete`]: crate::DataStore::delete
+    Delete,
+}
+
+impl OpKind {
+    /// Whether the operation reads store state.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        !self.is_write()
+    }
+
+    /// Whether the operation mutates store state.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Put | OpKind::Delete)
+    }
+
+    /// Stable lowercase name, suitable for metric labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::GetVersioned => "get_versioned",
+            OpKind::Scan => "scan",
+            OpKind::Snapshot => "snapshot",
+            OpKind::Put => "put",
+            OpKind::Delete => "delete",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An observer of store operation timings.
+///
+/// Where [`WriteObserver`] carries mutation *content* (the QoD monitoring
+/// interception point), this hook carries operation *cost*: each completed
+/// store call reports its kind and wall-clock duration. The telemetry
+/// layer registers one of these to populate read/write counters and
+/// latency histograms without the store depending on any metrics crate.
+///
+/// Invoked synchronously on the calling thread with the store lock
+/// released; implementations must be cheap and `Send + Sync`. When no op
+/// observer is registered the store skips timing entirely (one relaxed
+/// atomic load per operation).
+pub trait OpObserver: Send + Sync {
+    /// Called once per completed store operation.
+    fn on_op(&self, op: OpKind, elapsed: Duration);
+}
+
+impl<F> OpObserver for F
+where
+    F: Fn(OpKind, Duration) + Send + Sync,
+{
+    fn on_op(&self, op: OpKind, elapsed: Duration) {
+        self(op, elapsed);
+    }
+}
+
+/// Handle returned by [`DataStore::register_op_observer`]; pass it to
+/// [`DataStore::unregister_op_observer`] to stop receiving timings.
+///
+/// [`DataStore::register_op_observer`]: crate::DataStore::register_op_observer
+/// [`DataStore::unregister_op_observer`]: crate::DataStore::unregister_op_observer
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpObserverHandle(pub(crate) u64);
+
+/// Internal registry of op observers.
+#[derive(Default)]
+pub(crate) struct OpObserverBus {
+    next_id: u64,
+    observers: Vec<(u64, Arc<dyn OpObserver>)>,
+}
+
+impl OpObserverBus {
+    pub(crate) fn register(&mut self, observer: Arc<dyn OpObserver>) -> OpObserverHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.observers.push((id, observer));
+        OpObserverHandle(id)
+    }
+
+    pub(crate) fn unregister(&mut self, handle: OpObserverHandle) -> bool {
+        let before = self.observers.len();
+        self.observers.retain(|(id, _)| *id != handle.0);
+        self.observers.len() != before
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<Arc<dyn OpObserver>> {
+        self.observers.iter().map(|(_, o)| Arc::clone(o)).collect()
+    }
+}
+
+impl fmt::Debug for OpObserverBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpObserverBus")
             .field("observers", &self.observers.len())
             .finish()
     }

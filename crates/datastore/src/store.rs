@@ -2,14 +2,19 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
 use crate::cell::{Timestamp, VersionedCell};
 use crate::container::ContainerRef;
 use crate::error::StoreError;
-use crate::observer::{ObserverBus, ObserverHandle, WriteEvent, WriteKind, WriteObserver};
+use crate::observer::{
+    ObserverBus, ObserverHandle, OpKind, OpObserver, OpObserverBus, OpObserverHandle, WriteEvent,
+    WriteKind, WriteObserver,
+};
 use crate::scan::{RowScan, ScanFilter};
 use crate::snapshot::Snapshot;
 use crate::table::Table;
@@ -56,6 +61,10 @@ impl Default for StoreInner {
 pub struct DataStore {
     inner: Arc<RwLock<StoreInner>>,
     observers: Arc<RwLock<ObserverBus>>,
+    op_observers: Arc<RwLock<OpObserverBus>>,
+    // Mirror of op_observers.len(), so the per-operation fast path is one
+    // relaxed load instead of a lock acquisition.
+    op_observer_count: Arc<AtomicUsize>,
 }
 
 impl DataStore {
@@ -162,28 +171,30 @@ impl DataStore {
         qualifier: &str,
         value: Value,
     ) -> Result<Option<Value>, StoreError> {
-        let (old, ts) = {
-            let mut inner = self.inner.write();
-            inner.clock += 1;
-            let ts = inner.clock;
-            let max_versions = inner.max_versions;
-            let fam = Self::family_mut(&mut inner, table, family)?;
-            let old =
-                fam.row_mut(row)
-                    .put_with_versions(qualifier, value.clone(), ts, max_versions);
-            (old, ts)
-        };
-        self.notify(WriteEvent {
-            table: table.to_owned(),
-            family: family.to_owned(),
-            row: row.to_owned(),
-            qualifier: qualifier.to_owned(),
-            kind: WriteKind::Put,
-            old: old.clone(),
-            new: Some(value),
-            timestamp: ts,
-        });
-        Ok(old)
+        self.timed(OpKind::Put, || {
+            let (old, ts) = {
+                let mut inner = self.inner.write();
+                inner.clock += 1;
+                let ts = inner.clock;
+                let max_versions = inner.max_versions;
+                let fam = Self::family_mut(&mut inner, table, family)?;
+                let old =
+                    fam.row_mut(row)
+                        .put_with_versions(qualifier, value.clone(), ts, max_versions);
+                (old, ts)
+            };
+            self.notify(WriteEvent {
+                table: table.to_owned(),
+                family: family.to_owned(),
+                row: row.to_owned(),
+                qualifier: qualifier.to_owned(),
+                kind: WriteKind::Put,
+                old: old.clone(),
+                new: Some(value),
+                timestamp: ts,
+            });
+            Ok(old)
+        })
     }
 
     /// Deletes the cell under `(table, family, row, qualifier)`.
@@ -201,26 +212,28 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<Value>, StoreError> {
-        let (old, ts) = {
-            let mut inner = self.inner.write();
-            inner.clock += 1;
-            let ts = inner.clock;
-            let fam = Self::family_mut(&mut inner, table, family)?;
-            (fam.delete_cell(row, qualifier), ts)
-        };
-        if let Some(old_value) = &old {
-            self.notify(WriteEvent {
-                table: table.to_owned(),
-                family: family.to_owned(),
-                row: row.to_owned(),
-                qualifier: qualifier.to_owned(),
-                kind: WriteKind::Delete,
-                old: Some(old_value.clone()),
-                new: None,
-                timestamp: ts,
-            });
-        }
-        Ok(old)
+        self.timed(OpKind::Delete, || {
+            let (old, ts) = {
+                let mut inner = self.inner.write();
+                inner.clock += 1;
+                let ts = inner.clock;
+                let fam = Self::family_mut(&mut inner, table, family)?;
+                (fam.delete_cell(row, qualifier), ts)
+            };
+            if let Some(old_value) = &old {
+                self.notify(WriteEvent {
+                    table: table.to_owned(),
+                    family: family.to_owned(),
+                    row: row.to_owned(),
+                    qualifier: qualifier.to_owned(),
+                    kind: WriteKind::Delete,
+                    old: Some(old_value.clone()),
+                    new: None,
+                    timestamp: ts,
+                });
+            }
+            Ok(old)
+        })
     }
 
     /// Reads the current value of a cell.
@@ -236,12 +249,14 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<Value>, StoreError> {
-        let inner = self.inner.read();
-        let fam = Self::family_ref(&inner, table, family)?;
-        Ok(fam
-            .row(row)
-            .and_then(|r| r.cell(qualifier))
-            .map(|c| c.current().clone()))
+        self.timed(OpKind::Get, || {
+            let inner = self.inner.read();
+            let fam = Self::family_ref(&inner, table, family)?;
+            Ok(fam
+                .row(row)
+                .and_then(|r| r.cell(qualifier))
+                .map(|c| c.current().clone()))
+        })
     }
 
     /// Reads the full versioned cell (current plus retained history).
@@ -259,9 +274,11 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<VersionedCell>, StoreError> {
-        let inner = self.inner.read();
-        let fam = Self::family_ref(&inner, table, family)?;
-        Ok(fam.row(row).and_then(|r| r.cell(qualifier)).cloned())
+        self.timed(OpKind::GetVersioned, || {
+            let inner = self.inner.read();
+            let fam = Self::family_ref(&inner, table, family)?;
+            Ok(fam.row(row).and_then(|r| r.cell(qualifier)).cloned())
+        })
     }
 
     /// Scans rows of a column family, subject to `filter`.
@@ -275,30 +292,32 @@ impl DataStore {
         family: &str,
         filter: &ScanFilter,
     ) -> Result<Vec<RowScan>, StoreError> {
-        let inner = self.inner.read();
-        let fam = Self::family_ref(&inner, table, family)?;
-        let mut out = Vec::new();
-        for (key, row) in fam.iter() {
-            if !filter.matches_row(key) {
-                continue;
+        self.timed(OpKind::Scan, || {
+            let inner = self.inner.read();
+            let fam = Self::family_ref(&inner, table, family)?;
+            let mut out = Vec::new();
+            for (key, row) in fam.iter() {
+                if !filter.matches_row(key) {
+                    continue;
+                }
+                let columns: Vec<(String, Value)> = row
+                    .iter()
+                    .filter(|(q, _)| filter.matches_qualifier(q))
+                    .map(|(q, c)| (q.to_owned(), c.current().clone()))
+                    .collect();
+                if columns.is_empty() {
+                    continue;
+                }
+                out.push(RowScan {
+                    key: key.to_owned(),
+                    columns,
+                });
+                if filter.limit.is_some_and(|l| out.len() >= l) {
+                    break;
+                }
             }
-            let columns: Vec<(String, Value)> = row
-                .iter()
-                .filter(|(q, _)| filter.matches_qualifier(q))
-                .map(|(q, c)| (q.to_owned(), c.current().clone()))
-                .collect();
-            if columns.is_empty() {
-                continue;
-            }
-            out.push(RowScan {
-                key: key.to_owned(),
-                columns,
-            });
-            if filter.limit.is_some_and(|l| out.len() >= l) {
-                break;
-            }
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 
     /// Captures a point-in-time snapshot of a container's current values.
@@ -307,17 +326,19 @@ impl DataStore {
     ///
     /// Returns an error if the container's table or family does not exist.
     pub fn snapshot(&self, container: &ContainerRef) -> Result<Snapshot, StoreError> {
-        let inner = self.inner.read();
-        let fam = Self::family_ref(&inner, container.table(), container.family_name())?;
-        let mut snap = Snapshot::new();
-        for (key, row) in fam.iter() {
-            for (q, cell) in row.iter() {
-                if container.qualifier().is_none_or(|cq| cq == q) {
-                    snap.insert(key.to_owned(), q.to_owned(), cell.current().clone());
+        self.timed(OpKind::Snapshot, || {
+            let inner = self.inner.read();
+            let fam = Self::family_ref(&inner, container.table(), container.family_name())?;
+            let mut snap = Snapshot::new();
+            for (key, row) in fam.iter() {
+                for (q, cell) in row.iter() {
+                    if container.qualifier().is_none_or(|cq| cq == q) {
+                        snap.insert(key.to_owned(), q.to_owned(), cell.current().clone());
+                    }
                 }
             }
-        }
-        Ok(snap)
+            Ok(snap)
+        })
     }
 
     /// Number of populated cells in a container.
@@ -342,6 +363,39 @@ impl DataStore {
     /// Unregisters an observer. Returns `false` if the handle was unknown.
     pub fn unregister_observer(&self, handle: ObserverHandle) -> bool {
         self.observers.write().unregister(handle)
+    }
+
+    /// Registers an operation-timing observer; returns a handle for
+    /// unregistration. See [`OpObserver`] for the cost contract.
+    pub fn register_op_observer(&self, observer: Arc<dyn OpObserver>) -> OpObserverHandle {
+        let mut bus = self.op_observers.write();
+        let handle = bus.register(observer);
+        self.op_observer_count.store(bus.len(), Ordering::Release);
+        handle
+    }
+
+    /// Unregisters an op observer. Returns `false` if the handle was
+    /// unknown.
+    pub fn unregister_op_observer(&self, handle: OpObserverHandle) -> bool {
+        let mut bus = self.op_observers.write();
+        let removed = bus.unregister(handle);
+        self.op_observer_count.store(bus.len(), Ordering::Release);
+        removed
+    }
+
+    /// Runs `op_body`, reporting its duration to op observers — unless
+    /// none is registered, in which case nothing is measured at all.
+    fn timed<T>(&self, op: OpKind, op_body: impl FnOnce() -> T) -> T {
+        if self.op_observer_count.load(Ordering::Relaxed) == 0 {
+            return op_body();
+        }
+        let start = Instant::now();
+        let out = op_body();
+        let elapsed = start.elapsed();
+        for obs in self.op_observers.read().snapshot() {
+            obs.on_op(op, elapsed);
+        }
+        out
     }
 
     /// Current logical clock value (timestamp of the most recent write).
@@ -616,5 +670,39 @@ mod tests {
     fn store_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DataStore>();
+    }
+
+    #[test]
+    fn op_observer_times_reads_and_writes() {
+        let s = store_with_tf();
+        let reads = Arc::new(AtomicUsize::new(0));
+        let writes = Arc::new(AtomicUsize::new(0));
+        let (r, w) = (Arc::clone(&reads), Arc::clone(&writes));
+        let h = s.register_op_observer(Arc::new(
+            move |op: OpKind, _elapsed: std::time::Duration| {
+                if op.is_read() {
+                    r.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    w.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        ));
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        s.get("t", "f", "r", "q").unwrap();
+        s.get_versioned("t", "f", "r", "q").unwrap();
+        s.scan("t", "f", &ScanFilter::all()).unwrap();
+        s.snapshot(&ContainerRef::family("t", "f")).unwrap();
+        s.delete("t", "f", "r", "q").unwrap();
+        assert_eq!(reads.load(Ordering::SeqCst), 4);
+        assert_eq!(writes.load(Ordering::SeqCst), 2);
+
+        // Failed operations are still timed (the cost was paid).
+        let _ = s.get("t", "missing", "r", "q");
+        assert_eq!(reads.load(Ordering::SeqCst), 5);
+
+        assert!(s.unregister_op_observer(h));
+        assert!(!s.unregister_op_observer(h));
+        s.put("t", "f", "r", "q", Value::from(2.0)).unwrap();
+        assert_eq!(writes.load(Ordering::SeqCst), 2);
     }
 }

@@ -1,0 +1,443 @@
+//! The wave-decision journal: one structured record per wave per
+//! QoD-managed step.
+//!
+//! The journal is the after-the-fact audit trail of the engine's skipping
+//! decisions: what the impact vector was, what the model predicted, how
+//! confident the deployment is that `maxε` is being respected, and — on
+//! training/test waves, where ground truth exists — the measured error ε.
+//! The paper's Fig. 9 (error tracking) and Fig. 10 (confidence) are both
+//! derivable from a journal file alone.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::json_string;
+
+/// One journal record: the engine's decision for one QoD-managed step on
+/// one wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveDecisionRecord {
+    /// Wave number.
+    pub wave: u64,
+    /// Engine phase when the decision was made (`"training"` or
+    /// `"application"`).
+    pub phase: &'static str,
+    /// Name of the QoD-managed step this record describes.
+    pub step: String,
+    /// Index of the step in the engine's feature/label order.
+    pub step_index: usize,
+    /// The full input-impact vector ι observed this wave (one entry per
+    /// QoD step, in feature order).
+    pub impacts: Vec<f64>,
+    /// The predicted trigger set: decision per QoD step (`true` =
+    /// execute). On training waves this is the label vector (ε > maxε).
+    pub predicted: Vec<bool>,
+    /// Whether *this* step executed this wave.
+    pub executed: bool,
+    /// Running confidence that this step's output respects `maxε`
+    /// (cumulative compliant-wave fraction over waves with ground truth).
+    pub confidence: f64,
+    /// The step's configured error bound `maxε`.
+    pub max_epsilon: f64,
+    /// Measured (simulated) output error ε — present only on waves with
+    /// ground truth, i.e. the training/test phases.
+    pub measured_epsilon: Option<f64>,
+}
+
+impl WaveDecisionRecord {
+    /// Renders the record as a single JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"wave\":{},\"phase\":\"{}\",\"step\":{},\"step_index\":{},\"impacts\":[",
+            self.wave,
+            self.phase,
+            json_string(&self.step),
+            self.step_index,
+        );
+        for (i, v) in self.impacts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"predicted\":[");
+        for (i, v) in self.predicted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if *v { "true" } else { "false" });
+        }
+        let _ = write!(
+            out,
+            "],\"executed\":{},\"confidence\":{},\"max_epsilon\":{}",
+            self.executed, self.confidence, self.max_epsilon,
+        );
+        match self.measured_epsilon {
+            Some(e) => {
+                let _ = write!(out, ",\"measured_epsilon\":{e}");
+            }
+            None => out.push_str(",\"measured_epsilon\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a record back from the JSON line format written by
+    /// [`to_json`](Self::to_json). This is a purpose-built parser for the
+    /// journal's own output, not a general JSON parser.
+    #[must_use]
+    pub fn from_json(line: &str) -> Option<Self> {
+        let wave = field(line, "wave")?.parse().ok()?;
+        let phase = match field(line, "phase")?.trim_matches('"') {
+            "training" => "training",
+            "application" => "application",
+            _ => return None,
+        };
+        let step = unescape_json_string(field(line, "step")?)?;
+        let step_index = field(line, "step_index")?.parse().ok()?;
+        let impacts = array_field(line, "impacts")?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse().ok())
+            .collect::<Option<Vec<f64>>>()?;
+        let predicted = array_field(line, "predicted")?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.trim() {
+                "true" => Some(true),
+                "false" => Some(false),
+                _ => None,
+            })
+            .collect::<Option<Vec<bool>>>()?;
+        let executed = field(line, "executed")? == "true";
+        let confidence = field(line, "confidence")?.parse().ok()?;
+        let max_epsilon = field(line, "max_epsilon")?.parse().ok()?;
+        let measured = field(line, "measured_epsilon")?;
+        let measured_epsilon = if measured == "null" {
+            None
+        } else {
+            Some(measured.parse().ok()?)
+        };
+        Some(Self {
+            wave,
+            phase,
+            step,
+            step_index,
+            impacts,
+            predicted,
+            executed,
+            confidence,
+            max_epsilon,
+            measured_epsilon,
+        })
+    }
+}
+
+/// Undoes [`json_string`]: strips the surrounding quotes and resolves the
+/// escape sequences that escaper emits.
+fn unescape_json_string(quoted: &str) -> Option<String> {
+    let body = quoted.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Extracts the raw scalar/string value of `"key":value` from a JSON line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut prev_backslash = false;
+        for (i, ch) in stripped.char_indices() {
+            match ch {
+                '\\' if !prev_backslash => prev_backslash = true,
+                '"' if !prev_backslash => return Some(&rest[..i + 2]),
+                _ => prev_backslash = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+/// Extracts the comma-joined contents of `"key":[...]`.
+fn array_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(']')?;
+    Some(&rest[..end])
+}
+
+/// A destination for journal records.
+///
+/// Implementations must be cheap per record; the engine calls
+/// [`record`](Self::record) once per QoD step per wave while holding no
+/// locks of its own.
+pub trait JournalSink: Send + Sync + fmt::Debug {
+    /// Appends one record.
+    fn record(&self, record: &WaveDecisionRecord);
+
+    /// Flushes buffered records to durable storage (no-op by default).
+    fn flush(&self) {}
+
+    /// Where records end up, for human-readable reporting (a file path for
+    /// file-backed sinks, `None` otherwise).
+    fn path(&self) -> Option<&Path> {
+        None
+    }
+}
+
+/// A sink appending one JSON object per line to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The file records are written to.
+    #[must_use]
+    pub fn file_path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl JournalSink for JsonlSink {
+    fn record(&self, record: &WaveDecisionRecord) {
+        let mut w = self.writer.lock();
+        // A failed journal write must never take the workflow down.
+        let _ = writeln!(w, "{}", record.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+
+    fn path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+}
+
+/// An in-memory sink retaining every record (tests, ad-hoc inspection).
+#[derive(Debug, Default)]
+pub struct MemoryJournal {
+    records: Mutex<Vec<WaveDecisionRecord>>,
+}
+
+impl MemoryJournal {
+    /// Creates an empty in-memory journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out all records collected so far.
+    #[must_use]
+    pub fn records(&self) -> Vec<WaveDecisionRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of records collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no record has been collected yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+impl JournalSink for MemoryJournal {
+    fn record(&self, record: &WaveDecisionRecord) {
+        self.records.lock().push(record.clone());
+    }
+}
+
+/// Reads every well-formed record from a JSONL journal file.
+///
+/// # Errors
+///
+/// Propagates file-read failures; malformed lines are skipped.
+pub fn read_journal(path: impl AsRef<Path>) -> std::io::Result<Vec<WaveDecisionRecord>> {
+    let content = std::fs::read_to_string(path)?;
+    Ok(content
+        .lines()
+        .filter_map(WaveDecisionRecord::from_json)
+        .collect())
+}
+
+/// A convenience handle fanning one record out to many sinks.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    sinks: Vec<Arc<dyn JournalSink>>,
+}
+
+impl Journal {
+    /// Creates a journal with no sinks (records are dropped).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink.
+    pub fn add_sink(&mut self, sink: Arc<dyn JournalSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any sink is attached.
+    #[must_use]
+    pub fn has_sinks(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Fans `record` out to every sink.
+    pub fn record(&self, record: &WaveDecisionRecord) {
+        for sink in &self.sinks {
+            sink.record(record);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+
+    /// The first file-backed sink's path, if any.
+    #[must_use]
+    pub fn file_path(&self) -> Option<&Path> {
+        self.sinks.iter().find_map(|s| s.path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(wave: u64, eps: Option<f64>) -> WaveDecisionRecord {
+        WaveDecisionRecord {
+            wave,
+            phase: if eps.is_some() {
+                "training"
+            } else {
+                "application"
+            },
+            step: "agg \"x\"".into(),
+            step_index: 0,
+            impacts: vec![0.25, 1.5e-3],
+            predicted: vec![true, false],
+            executed: true,
+            confidence: 0.975,
+            max_epsilon: 0.05,
+            measured_epsilon: eps,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for rec in [sample(3, Some(0.0125)), sample(9, None)] {
+            let line = rec.to_json();
+            let back = WaveDecisionRecord::from_json(&line).expect("roundtrip parse");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(WaveDecisionRecord::from_json("not json").is_none());
+        assert!(WaveDecisionRecord::from_json("{\"wave\":1}").is_none());
+    }
+
+    #[test]
+    fn memory_journal_collects() {
+        let j = MemoryJournal::new();
+        assert!(j.is_empty());
+        j.record(&sample(1, None));
+        j.record(&sample(2, None));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.records()[1].wave, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_readable_file() {
+        let path = std::env::temp_dir().join(format!(
+            "smartflux-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).expect("create journal");
+        sink.record(&sample(1, Some(0.2)));
+        sink.record(&sample(2, None));
+        sink.flush();
+        let records = read_journal(&path).expect("read journal");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].measured_epsilon, Some(0.2));
+        assert_eq!(records[1].measured_epsilon, None);
+        assert_eq!(sink.path(), Some(path.as_path()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_fans_out() {
+        let a = Arc::new(MemoryJournal::new());
+        let b = Arc::new(MemoryJournal::new());
+        let mut j = Journal::new();
+        assert!(!j.has_sinks());
+        j.add_sink(a.clone());
+        j.add_sink(b.clone());
+        j.record(&sample(5, None));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(j.file_path().is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! Unified telemetry for the SmartFlux reproduction.
+//!
+//! Three pillars, shared by every layer of the stack (engine, scheduler,
+//! data store, bench harness):
+//!
+//! 1. a **metrics registry** ([`MetricsRegistry`]) — named atomic counters,
+//!    gauges, and fixed-bucket latency histograms with p50/p95/p99
+//!    summaries and a cheap [`snapshot`](Telemetry::snapshot);
+//! 2. a **wave-decision journal** ([`WaveDecisionRecord`]) — one structured
+//!    record per wave per QoD-managed step (phase, impact vector ι,
+//!    predicted trigger set, confidence, `maxε`, measured ε), fanned out to
+//!    pluggable [`JournalSink`]s such as the JSONL file sink;
+//! 3. a **span API** ([`Span`], [`span!`]) — RAII guards timing code
+//!    regions into the histogram registry and an optional [`TraceSink`].
+//!
+//! The entry point is [`Telemetry`]: a cheaply-cloneable handle that is
+//! *disabled by default*. Disabled handles short-circuit every operation
+//! on a single relaxed atomic load, so instrumented hot paths cost nearly
+//! nothing until someone turns observability on.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use smartflux_telemetry::{span, MemoryJournal, Telemetry, WaveDecisionRecord};
+//!
+//! let telemetry = Telemetry::enabled();
+//! let journal = Arc::new(MemoryJournal::new());
+//! telemetry.add_journal_sink(journal.clone());
+//!
+//! {
+//!     let _wave = span!(telemetry, "wms.wave", tag = 1);
+//!     telemetry.counter("store.writes").incr();
+//! }
+//! telemetry.journal(&WaveDecisionRecord {
+//!     wave: 1,
+//!     phase: "training",
+//!     step: "aggregate".into(),
+//!     step_index: 0,
+//!     impacts: vec![0.3],
+//!     predicted: vec![true],
+//!     executed: true,
+//!     confidence: 1.0,
+//!     max_epsilon: 0.05,
+//!     measured_epsilon: Some(0.07),
+//! });
+//!
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.counter("store.writes"), 1);
+//! assert_eq!(snap.histogram("wms.wave").unwrap().count, 1);
+//! assert_eq!(journal.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod journal;
+mod metrics;
+mod span;
+
+pub use journal::{
+    read_journal, Journal, JournalSink, JsonlSink, MemoryJournal, WaveDecisionRecord,
+};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use span::{MemoryTraceSink, Span, SpanEvent, TraceSink};
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    enabled: AtomicBool,
+    registry: MetricsRegistry,
+    journal: RwLock<Journal>,
+    trace: RwLock<Option<Arc<dyn TraceSink>>>,
+}
+
+/// The unified telemetry handle: registry + journal + trace sink behind
+/// one enable/disable switch.
+///
+/// Cheaply cloneable; all clones share state. Every operation first checks
+/// the enabled flag (one relaxed atomic load), so a disabled handle adds
+/// near-zero cost to instrumented code.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Telemetry {
+    /// A disabled handle (the default): every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled handle with no sinks attached (metrics only).
+    #[must_use]
+    pub fn enabled() -> Self {
+        let t = Self::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Whether instrumentation is live.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns instrumentation on or off at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The underlying metrics registry (live even while disabled, so
+    /// handles can be pre-registered cheaply).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Gets or creates a counter. Prefer caching the handle on hot paths.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.inner.registry.counter(name)
+    }
+
+    /// Gets or creates a histogram. Prefer caching the handle on hot paths.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(name)
+    }
+
+    /// Gets or creates a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Opens a timing span feeding the histogram named `name`; `tag` is an
+    /// optional numeric annotation delivered to the trace sink (use
+    /// `u64::MAX`, or the [`span!`] macro's short form, when irrelevant).
+    /// Returns an inert guard when disabled.
+    pub fn span(&self, name: &'static str, tag: u64) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        let histogram = self.inner.registry.histogram(name);
+        let trace = self.inner.trace.read().clone();
+        Span::start(name, tag, histogram, trace)
+    }
+
+    /// Attaches a journal sink (wave-decision records fan out to every
+    /// attached sink).
+    pub fn add_journal_sink(&self, sink: Arc<dyn JournalSink>) {
+        self.inner.journal.write().add_sink(sink);
+    }
+
+    /// Whether any journal sink is attached.
+    #[must_use]
+    pub fn has_journal_sinks(&self) -> bool {
+        self.inner.journal.read().has_sinks()
+    }
+
+    /// Sets (or clears) the trace sink receiving completed spans.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.inner.trace.write() = sink;
+    }
+
+    /// Writes one wave-decision record to every attached journal sink.
+    /// No-op while disabled.
+    pub fn journal(&self, record: &WaveDecisionRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.journal.read().record(record);
+    }
+
+    /// Flushes every journal sink.
+    pub fn flush(&self) {
+        self.inner.journal.read().flush();
+    }
+
+    /// The first file-backed journal sink's path, if any.
+    #[must_use]
+    pub fn journal_path(&self) -> Option<std::path::PathBuf> {
+        self.inner.journal.read().file_path().map(Path::to_path_buf)
+    }
+
+    /// Captures a point-in-time snapshot of every instrument.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+}
+
+/// Conventional instrument names used across the SmartFlux stack, kept in
+/// one place so dashboards and tests don't chase string typos.
+pub mod names {
+    /// Wall-clock latency of one full wave (`Scheduler::run_wave`).
+    pub const WAVE_LATENCY: &str = "wms.wave";
+    /// Latency of one step execution.
+    pub const STEP_LATENCY: &str = "wms.step";
+    /// Steps executed.
+    pub const STEPS_EXECUTED: &str = "wms.steps_executed";
+    /// Steps skipped by the trigger policy.
+    pub const STEPS_SKIPPED: &str = "wms.steps_skipped";
+    /// Steps deferred awaiting a first predecessor execution.
+    pub const STEPS_DEFERRED: &str = "wms.steps_deferred";
+    /// Latency of one QoD impact computation.
+    pub const IMPACT_LATENCY: &str = "engine.impact";
+    /// Latency of one predictor query.
+    pub const PREDICT_LATENCY: &str = "engine.predict";
+    /// Latency of one model (re)build, including cross-validation.
+    pub const TRAIN_LATENCY: &str = "engine.train";
+    /// Data-store read operations (gets, scans, snapshots).
+    pub const STORE_READS: &str = "store.reads";
+    /// Data-store write operations (puts, deletes).
+    pub const STORE_WRITES: &str = "store.writes";
+    /// Latency of data-store read operations.
+    pub const STORE_READ_LATENCY: &str = "store.read";
+    /// Latency of data-store write operations.
+    pub const STORE_WRITE_LATENCY: &str = "store.write";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_by_default_and_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let journal = Arc::new(MemoryJournal::new());
+        t.add_journal_sink(journal.clone());
+        {
+            let s = span!(t, "op");
+            assert!(!s.is_recording());
+        }
+        t.journal(&WaveDecisionRecord {
+            wave: 1,
+            phase: "training",
+            step: "s".into(),
+            step_index: 0,
+            impacts: vec![],
+            predicted: vec![],
+            executed: true,
+            confidence: 1.0,
+            max_epsilon: 0.1,
+            measured_epsilon: None,
+        });
+        assert!(journal.is_empty());
+        assert_eq!(t.snapshot().histograms.len(), 0);
+    }
+
+    #[test]
+    fn enable_at_runtime() {
+        let t = Telemetry::disabled();
+        t.set_enabled(true);
+        {
+            let _s = span!(t, "op", tag = 2);
+        }
+        t.counter("c").incr();
+        let snap = t.snapshot();
+        assert_eq!(snap.histogram("op").unwrap().count, 1);
+        assert_eq!(snap.counter("c"), 1);
+    }
+
+    #[test]
+    fn trace_sink_sees_spans() {
+        let t = Telemetry::enabled();
+        let trace = Arc::new(MemoryTraceSink::new());
+        t.set_trace_sink(Some(trace.clone()));
+        {
+            let _s = t.span("traced", 42);
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tag, 42);
+        assert!(events[0].elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn journal_path_reports_file_sink() {
+        let t = Telemetry::enabled();
+        assert!(t.journal_path().is_none());
+        let path = std::env::temp_dir().join(format!(
+            "smartflux-telemetry-path-{}.jsonl",
+            std::process::id()
+        ));
+        t.add_journal_sink(Arc::new(JsonlSink::create(&path).unwrap()));
+        assert_eq!(t.journal_path(), Some(path.clone()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+}

@@ -1,0 +1,194 @@
+//! Lightweight spans: RAII guards that time a region of code into a
+//! histogram and, optionally, a trace sink.
+//!
+//! A [`Span`] costs one `Instant::now()` on creation and one histogram
+//! record on drop. When telemetry is disabled the guard is inert — no
+//! clock read, no allocation.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::metrics::Histogram;
+
+/// A destination for completed span events.
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Called once per completed span.
+    fn span_completed(&self, event: &SpanEvent);
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Instrument/operation name (e.g. `"wms.wave"`).
+    pub name: &'static str,
+    /// Optional numeric tag (e.g. the wave number), `u64::MAX` when unset.
+    pub tag: u64,
+    /// Wall-clock duration of the span.
+    pub elapsed: Duration,
+}
+
+/// A trace sink retaining every event in memory (tests, inspection).
+#[derive(Debug, Default)]
+pub struct MemoryTraceSink {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl MemoryTraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out all completed spans.
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of completed spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no span has completed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl TraceSink for MemoryTraceSink {
+    fn span_completed(&self, event: &SpanEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    tag: u64,
+    start: Instant,
+    histogram: Arc<Histogram>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+/// An RAII timing guard; records its lifetime on drop.
+///
+/// Obtained from [`Telemetry::span`](crate::Telemetry::span) or the
+/// [`span!`](crate::span!) macro. Inert (all no-ops) when telemetry is
+/// disabled.
+#[must_use = "a span records its timing when dropped"]
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub(crate) fn start(
+        name: &'static str,
+        tag: u64,
+        histogram: Arc<Histogram>,
+        trace: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
+        Self {
+            inner: Some(ActiveSpan {
+                name,
+                tag,
+                start: Instant::now(),
+                histogram,
+                trace,
+            }),
+        }
+    }
+
+    /// Whether this span is live (telemetry enabled at creation).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let elapsed = active.start.elapsed();
+            active.histogram.record(elapsed);
+            if let Some(trace) = &active.trace {
+                trace.span_completed(&SpanEvent {
+                    name: active.name,
+                    tag: active.tag,
+                    elapsed,
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(a) => f
+                .debug_struct("Span")
+                .field("name", &a.name)
+                .field("tag", &a.tag)
+                .finish(),
+            None => f.write_str("Span(disabled)"),
+        }
+    }
+}
+
+/// Opens a [`Span`] on a [`Telemetry`](crate::Telemetry) handle.
+///
+/// ```
+/// use smartflux_telemetry::{span, Telemetry};
+///
+/// let telemetry = Telemetry::enabled();
+/// {
+///     let _guard = span!(telemetry, "wave", tag = 7);
+/// } // recorded into the "wave" histogram here
+/// assert_eq!(telemetry.snapshot().histogram("wave").unwrap().count, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($telemetry:expr, $name:expr) => {
+        $telemetry.span($name, u64::MAX)
+    };
+    ($telemetry:expr, $name:expr, tag = $tag:expr) => {
+        $telemetry.span($name, $tag)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram_and_trace() {
+        let h = Arc::new(Histogram::default());
+        let trace = Arc::new(MemoryTraceSink::new());
+        {
+            let s = Span::start("op", 3, Arc::clone(&h), Some(trace.clone() as _));
+            assert!(s.is_recording());
+        }
+        assert_eq!(h.count(), 1);
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "op");
+        assert_eq!(events[0].tag, 3);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        assert!(!s.is_recording());
+        drop(s);
+    }
+}

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use smartflux_datastore::DataStore;
+use smartflux_telemetry::{names, Telemetry};
 
 use crate::error::WmsError;
 use crate::events::{EventBus, EventSubscription, SchedulerEvent};
@@ -54,6 +55,7 @@ pub struct Scheduler {
     policy: Box<dyn TriggerPolicy>,
     stats: ExecutionStats,
     events: EventBus,
+    telemetry: Telemetry,
     ever_executed: Vec<bool>,
     next_wave: WaveId,
 }
@@ -69,9 +71,23 @@ impl Scheduler {
             policy,
             stats: ExecutionStats::new(n),
             events: EventBus::default(),
+            telemetry: Telemetry::disabled(),
             ever_executed: vec![false; n],
             next_wave: 1,
         }
+    }
+
+    /// Attaches a telemetry handle. Wave and step latencies, and the
+    /// executed/skipped/deferred counters, are recorded through it; the
+    /// default handle is disabled and costs near-zero per wave.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The scheduler's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The workflow being scheduled.
@@ -126,6 +142,7 @@ impl Scheduler {
         let wave = self.next_wave;
         self.next_wave += 1;
 
+        let _wave_span = self.telemetry.span(names::WAVE_LATENCY, wave);
         self.events.publish(&SchedulerEvent::WaveStarted { wave });
         self.policy.begin_wave(wave, &self.workflow);
 
@@ -146,6 +163,7 @@ impl Scheduler {
                 .all(|p| self.ever_executed[p.index()]);
             if !preds_ready {
                 self.stats.record_deferral(step);
+                self.note_deferred();
                 outcome.deferred.push(step);
                 self.events
                     .publish(&SchedulerEvent::StepDeferred { wave, step });
@@ -179,7 +197,9 @@ impl Scheduler {
                         wave,
                         source,
                     })?;
-                self.stats.record_execution(step, start.elapsed());
+                let elapsed = start.elapsed();
+                self.stats.record_execution(step, elapsed);
+                self.note_executed(elapsed);
                 self.ever_executed[step.index()] = true;
                 outcome.executed.push(step);
                 self.policy.step_completed(wave, step, &self.workflow);
@@ -187,6 +207,7 @@ impl Scheduler {
                     .publish(&SchedulerEvent::StepCompleted { wave, step });
             } else {
                 self.stats.record_skip(step);
+                self.note_skipped();
                 outcome.skipped.push(step);
                 self.policy.step_skipped(wave, step, &self.workflow);
                 self.events
@@ -243,6 +264,7 @@ impl Scheduler {
         let wave = self.next_wave;
         self.next_wave += 1;
 
+        let _wave_span = self.telemetry.span(names::WAVE_LATENCY, wave);
         self.events.publish(&SchedulerEvent::WaveStarted { wave });
         self.policy.begin_wave(wave, &self.workflow);
 
@@ -265,6 +287,7 @@ impl Scheduler {
                     .all(|p| self.ever_executed[p.index()]);
                 if !preds_ready {
                     self.stats.record_deferral(step);
+                    self.note_deferred();
                     outcome.deferred.push(step);
                     self.events
                         .publish(&SchedulerEvent::StepDeferred { wave, step });
@@ -279,6 +302,7 @@ impl Scheduler {
                     to_run.push(step);
                 } else {
                     self.stats.record_skip(step);
+                    self.note_skipped();
                     outcome.skipped.push(step);
                     self.policy.step_skipped(wave, step, &self.workflow);
                     self.events
@@ -322,6 +346,7 @@ impl Scheduler {
                 match result {
                     Ok(elapsed) => {
                         self.stats.record_execution(step, elapsed);
+                        self.note_executed(elapsed);
                         self.ever_executed[step.index()] = true;
                         outcome.executed.push(step);
                         self.policy.step_completed(wave, step, &self.workflow);
@@ -352,6 +377,27 @@ impl Scheduler {
             skipped: outcome.skipped.len(),
         });
         Ok(outcome)
+    }
+
+    fn note_executed(&self, elapsed: std::time::Duration) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .histogram(names::STEP_LATENCY)
+                .record(elapsed);
+            self.telemetry.counter(names::STEPS_EXECUTED).incr();
+        }
+    }
+
+    fn note_skipped(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::STEPS_SKIPPED).incr();
+        }
+    }
+
+    fn note_deferred(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::STEPS_DEFERRED).incr();
+        }
     }
 
     /// Groups the DAG into topological levels: level 0 holds the sources,
@@ -632,6 +678,36 @@ mod tests {
         let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
         let err = s.run_wave_parallel().unwrap_err();
         assert!(err.to_string().contains("parallel boom"));
+    }
+
+    #[test]
+    fn telemetry_records_waves_steps_and_skips() {
+        use smartflux_telemetry::{names, Telemetry};
+        let (mut s, _a, c) = pipeline(Box::new(SynchronousPolicy));
+        let telemetry = Telemetry::enabled();
+        s.set_telemetry(telemetry.clone());
+        s.run_waves(2).unwrap();
+        s.swap_policy(Box::new(SkipStep(c)));
+        s.run_wave().unwrap();
+        s.run_wave_parallel().unwrap();
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.histogram(names::WAVE_LATENCY).unwrap().count, 4);
+        // Waves 1-2 run both steps; waves 3-4 skip `c`.
+        assert_eq!(snap.counter(names::STEPS_EXECUTED), 6);
+        assert_eq!(snap.counter(names::STEPS_SKIPPED), 2);
+        assert_eq!(snap.histogram(names::STEP_LATENCY).unwrap().count, 6);
+        assert!(snap.histogram(names::STEP_LATENCY).unwrap().p95_ns > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        use smartflux_telemetry::names;
+        let (mut s, ..) = pipeline(Box::new(SynchronousPolicy));
+        s.run_waves(3).unwrap();
+        let snap = s.telemetry().snapshot();
+        assert!(snap.histogram(names::WAVE_LATENCY).is_none());
+        assert_eq!(snap.counter(names::STEPS_EXECUTED), 0);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Integration tests for the scheduler's notification surface:
+//! [`SchedulerEvent`] delivery order, subscription lifecycle, and the
+//! agreement between skip events and [`ExecutionStats`].
+
+use smartflux_datastore::{DataStore, Value};
+use smartflux_wms::{
+    FnStep, GraphBuilder, Scheduler, SchedulerEvent, StepContext, StepId, TriggerPolicy, Workflow,
+};
+
+/// Declines a fixed set of steps every wave.
+struct SkipSet(Vec<StepId>);
+
+impl TriggerPolicy for SkipSet {
+    fn should_trigger(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) -> bool {
+        !self.0.contains(&step)
+    }
+}
+
+/// A two-step pipeline `feed → agg` over a fresh store.
+fn pipeline() -> (DataStore, Workflow, StepId, StepId) {
+    let store = DataStore::new();
+    store.create_table("t").unwrap();
+    store.create_family("t", "f").unwrap();
+
+    let mut g = GraphBuilder::new("events");
+    let feed = g.add_step("feed");
+    let agg = g.add_step("agg");
+    g.add_edge(feed, agg).unwrap();
+    let mut wf = Workflow::new(g.build().unwrap());
+    wf.bind(
+        feed,
+        FnStep::new(|ctx: &StepContext| {
+            ctx.put("t", "f", "r", "a", Value::from(ctx.wave() as f64))?;
+            Ok(())
+        }),
+    )
+    .source();
+    wf.bind(
+        agg,
+        FnStep::new(|ctx: &StepContext| {
+            ctx.put("t", "f", "r", "b", Value::from(1.0))?;
+            Ok(())
+        }),
+    );
+    (store, wf, feed, agg)
+}
+
+#[test]
+fn events_arrive_in_execution_order() {
+    let (store, wf, feed, agg) = pipeline();
+    let mut sched = Scheduler::new(wf, store, Box::new(SkipSet(Vec::new())));
+    let sub = sched.subscribe();
+
+    sched.run_wave().unwrap();
+    let events = sub.drain();
+
+    assert_eq!(
+        events,
+        vec![
+            SchedulerEvent::WaveStarted { wave: 1 },
+            SchedulerEvent::StepTriggered {
+                wave: 1,
+                step: feed
+            },
+            SchedulerEvent::StepCompleted {
+                wave: 1,
+                step: feed
+            },
+            SchedulerEvent::StepTriggered { wave: 1, step: agg },
+            SchedulerEvent::StepCompleted { wave: 1, step: agg },
+            SchedulerEvent::WaveCompleted {
+                wave: 1,
+                executed: 2,
+                skipped: 0
+            },
+        ]
+    );
+}
+
+#[test]
+fn unsubscribe_while_running_does_not_disturb_other_subscribers() {
+    let (store, wf, _feed, _agg) = pipeline();
+    let mut sched = Scheduler::new(wf, store, Box::new(SkipSet(Vec::new())));
+    let keep = sched.subscribe();
+    let drop_me = sched.subscribe();
+
+    sched.run_wave().unwrap();
+    assert_eq!(drop_me.drain().len(), 6);
+    drop(drop_me);
+
+    // The scheduler prunes the dead subscription on the next publish and
+    // keeps delivering to the live one.
+    sched.run_wave().unwrap();
+    sched.run_wave().unwrap();
+    let events = keep.drain();
+    assert_eq!(events.len(), 18, "three full waves for the live subscriber");
+    assert!(events.contains(&SchedulerEvent::WaveStarted { wave: 3 }));
+}
+
+#[test]
+fn skipped_steps_emit_events_and_count_in_stats() {
+    let (store, wf, feed, agg) = pipeline();
+    let mut sched = Scheduler::new(wf, store, Box::new(SkipSet(vec![agg])));
+    let sub = sched.subscribe();
+
+    sched.run_wave().unwrap();
+    sched.run_wave().unwrap();
+    sched.run_wave().unwrap();
+    let rest = sub.drain();
+
+    let skip_events: Vec<&SchedulerEvent> = rest
+        .iter()
+        .filter(|e| matches!(e, SchedulerEvent::StepSkipped { .. }))
+        .collect();
+    let skips_in_stats = sched.stats().skips(agg);
+    assert_eq!(
+        skip_events.len() as u64,
+        skips_in_stats,
+        "every recorded skip is announced as an event"
+    );
+    assert!(skips_in_stats > 0);
+    for e in skip_events {
+        assert!(matches!(e, SchedulerEvent::StepSkipped { step, .. } if *step == agg));
+    }
+    // feed always runs; its executions match the wave count.
+    assert_eq!(sched.stats().executions(feed), 3);
+    assert_eq!(sched.stats().skips(feed), 0);
+    // Wave summaries report the skip counts consistently.
+    assert!(rest.iter().any(|e| matches!(
+        e,
+        SchedulerEvent::WaveCompleted {
+            skipped: 1,
+            executed: 1,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn successors_of_never_executed_steps_are_deferred() {
+    let store = DataStore::new();
+    store.create_table("t").unwrap();
+    store.create_family("t", "f").unwrap();
+
+    let mut g = GraphBuilder::new("chain");
+    let feed = g.add_step("feed");
+    let mid = g.add_step("mid");
+    let tail = g.add_step("tail");
+    g.add_edge(feed, mid).unwrap();
+    g.add_edge(mid, tail).unwrap();
+    let mut wf = Workflow::new(g.build().unwrap());
+    for id in [feed, mid, tail] {
+        wf.bind(id, FnStep::new(|_: &StepContext| Ok(())));
+    }
+    wf.bind(
+        feed,
+        FnStep::new(|ctx: &StepContext| {
+            ctx.put("t", "f", "r", "a", Value::from(ctx.wave() as f64))?;
+            Ok(())
+        }),
+    )
+    .source();
+
+    // mid is declined every wave, so it never reaches a first execution
+    // and tail must be deferred (not skipped) on every wave.
+    let mut sched = Scheduler::new(wf, store, Box::new(SkipSet(vec![mid])));
+    let sub = sched.subscribe();
+    sched.run_wave().unwrap();
+    sched.run_wave().unwrap();
+
+    let events = sub.drain();
+    let deferred: Vec<&SchedulerEvent> = events
+        .iter()
+        .filter(|e| matches!(e, SchedulerEvent::StepDeferred { .. }))
+        .collect();
+    assert_eq!(deferred.len() as u64, sched.stats().deferrals(tail));
+    assert_eq!(sched.stats().deferrals(tail), 2);
+    for e in deferred {
+        assert!(matches!(e, SchedulerEvent::StepDeferred { step, .. } if *step == tail));
+    }
+    assert_eq!(sched.stats().skips(mid), 2);
+    assert_eq!(sched.stats().executions(tail), 0);
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! Vendored because the build environment has no crates.io access. It keeps
+//! proptest's surface — `proptest!`, `prop_assert!*`, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`/`prop_recursive`, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, `proptest::option::of`, `any::<T>()`, and
+//! ranges / tuples / string patterns as strategies — but swaps the engine
+//! for straightforward seeded random generation: each test body runs for a
+//! fixed number of cases (default 32, override with `PROPTEST_CASES`) with
+//! deterministic per-case seeds. Failing cases are not shrunk; the panic
+//! message carries the case index so a failure is still reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Deterministic RNG plumbing used by the `proptest!` macro expansion.
+
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Number of cases each property runs for (env-overridable).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+
+    /// Builds the deterministic RNG for one case of one property.
+    pub fn case_rng(case: u64) -> TestRng {
+        TestRng::seed_from_u64(0x5337_F10C_u64.wrapping_mul(case.wrapping_add(1)))
+    }
+}
+
+/// `prop::collection` — strategies for containers.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.random::<bool>() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<u64>() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<u32>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<u64>()
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<u32>() as i32
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Bounded arbitrary floats: plenty for property tests, and
+            // avoids NaN/inf poisoning assertions that real proptest's
+            // default float strategy also avoids by default.
+            rng.random_range(-1e9..1e9)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The glob-import surface test files use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body for many seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __proptest_case in 0..$crate::test_runner::case_count() {
+                    let mut __proptest_rng = $crate::test_runner::case_rng(__proptest_case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let run = || -> () { $body };
+                    if let Err(panic) = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {__proptest_case} failed (set PROPTEST_CASES to adjust case count)"
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_tuples_and_vec_compose() {
+        let strat = prop::collection::vec((0u8..6, -1.0f64..1.0), 3..10);
+        let mut rng = case_rng(0);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 6);
+                assert!((-1.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_generate() {
+        let leaf = prop_oneof![Just(1u32), Just(2u32), 10u32..20];
+        let nested = leaf.prop_recursive(3, 24, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = case_rng(1);
+        for _ in 0..100 {
+            let v = nested.generate(&mut rng);
+            assert!(v >= 1, "compositions of positive leaves stay positive");
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_length_bounds() {
+        let strat = ".{0,16}";
+        let mut rng = case_rng(2);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let strat = crate::option::of(0.0f64..=1.0);
+        let mut rng = case_rng(3);
+        let values: Vec<_> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        /// The macro itself: bindings, tuple patterns, and multiple args.
+        #[test]
+        fn macro_smoke((a, b) in (0usize..10, 0usize..10), flag in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+}

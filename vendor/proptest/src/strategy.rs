@@ -1,0 +1,283 @@
+//! The [`Strategy`] trait and combinators for the offline proptest stand-in.
+//!
+//! Generation-only: `generate` draws one value from a deterministic RNG.
+//! Shrinking is intentionally absent — failures report the case index
+//! instead, which is enough to reproduce them under a fixed seed.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a self-referential strategy: starting from `self` as the
+    /// leaf, applies `recurse` up to `depth` times, choosing uniformly
+    /// between shallower and deeper alternatives at generation time.
+    /// (`desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility; this stand-in bounds recursion by `depth` alone.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat.clone()).boxed();
+            strat = Union::new(vec![strat, deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (`prop_oneof!` arms,
+/// `prop_recursive` inner handles).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (backs `prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+);
+
+/// String literals act as regex-ish strategies. This stand-in supports
+/// the `.{lo,hi}` form (any chars, bounded length) used by the test
+/// suite; any other pattern generates itself literally.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_dot_repeat(self) {
+            Some((lo, hi)) => {
+                let len = rng.random_range(lo..=hi);
+                (0..len).map(|_| random_char(rng)).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `.{lo,hi}` into its inclusive length bounds.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Character pool for `.` — mostly printable ASCII, salted with the
+/// syntax characters and non-ASCII points most likely to trip parsers.
+fn random_char(rng: &mut TestRng) -> char {
+    const SPICE: &[char] = &[
+        '<', '>', '&', '"', '\'', '/', '\\', '\n', '\t', 'é', 'λ', '→', '𝕊', '\u{0}',
+    ];
+    if rng.random_range(0..4usize) == 0 {
+        SPICE[rng.random_range(0..SPICE.len())]
+    } else {
+        char::from(rng.random_range(0x20u8..0x7F))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn just_and_map_compose() {
+        let strat = Just(21u32).prop_map(|v| v * 2);
+        assert_eq!(strat.generate(&mut case_rng(0)), 42);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v)));
+        let mut rng = case_rng(1);
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn dot_repeat_parser_accepts_only_the_supported_form() {
+        assert_eq!(parse_dot_repeat(".{0,200}"), Some((0, 200)));
+        assert_eq!(parse_dot_repeat(".{3,3}"), Some((3, 3)));
+        assert_eq!(parse_dot_repeat("abc"), None);
+        assert_eq!(parse_dot_repeat(".{5,1}"), None);
+    }
+}

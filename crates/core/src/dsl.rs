@@ -249,7 +249,7 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, token: &Token, context: &str) -> Result<(), DslError> {
+    fn expect_token(&mut self, token: &Token, context: &str) -> Result<(), DslError> {
         match self.next() {
             Some(t) if t == *token => Ok(()),
             other => Err(DslError::Malformed(format!(
@@ -298,7 +298,7 @@ impl Parser {
             Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
             Some(Token::LParen) => {
                 let inner = self.expr()?;
-                self.expect(&Token::RParen, "to close group")?;
+                self.expect_token(&Token::RParen, "to close group")?;
                 Ok(inner)
             }
             Some(Token::Ident(name)) => {
@@ -309,7 +309,7 @@ impl Parser {
                         self.pos += 1;
                         args.push(self.expr()?);
                     }
-                    self.expect(&Token::RParen, "to close call")?;
+                    self.expect_token(&Token::RParen, "to close call")?;
                     Self::call(&name, args)
                 } else {
                     Aggregate::from_name(&name)

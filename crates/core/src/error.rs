@@ -48,6 +48,13 @@ pub enum CoreError {
     NoQodSteps,
     /// A configuration referenced a step name the workflow does not have.
     UnknownStep(String),
+    /// A QoD-managed step carried a missing or out-of-range error bound.
+    InvalidBound {
+        /// Step whose annotation is broken.
+        step: String,
+        /// What was wrong with the bound.
+        detail: String,
+    },
     /// Opening the telemetry journal sink failed.
     Journal(std::io::Error),
 }
@@ -81,6 +88,9 @@ impl fmt::Display for CoreError {
             CoreError::NoQodSteps => f.write_str("workflow declares no QoD-managed steps"),
             CoreError::UnknownStep(name) => {
                 write!(f, "configuration references unknown step `{name}`")
+            }
+            CoreError::InvalidBound { step, detail } => {
+                write!(f, "invalid error bound on step `{step}`: {detail}")
             }
             CoreError::Journal(e) => write!(f, "failed to open telemetry journal: {e}"),
         }

@@ -238,6 +238,19 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     cov / (vx * vy).sqrt()
 }
 
+/// The validated bound of a step, or `CoreError::InvalidBound`.
+fn bounded(workflow: &Workflow, step: StepId) -> Result<ErrorBound, CoreError> {
+    let name = workflow.graph().step_name(step).to_owned();
+    let raw = workflow
+        .info(step)
+        .error_bound()
+        .ok_or_else(|| CoreError::InvalidBound {
+            step: name.clone(),
+            detail: "step declares no error bound".into(),
+        })?;
+    ErrorBound::new(raw).map_err(|detail| CoreError::InvalidBound { step: name, detail })
+}
+
 /// Runs the twin-run evaluation of `policy` over `factory`'s workload.
 ///
 /// `waves` counts *application* waves for SmartFlux runs (the training
@@ -245,12 +258,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates workflow execution failures.
-///
-/// # Panics
-///
-/// Panics if the factory's output step does not exist or carries no error
-/// bound.
+/// Propagates workflow execution failures, and rejects a factory whose
+/// output step is missing or carries an invalid error bound.
 pub fn evaluate<F: WorkloadFactory>(
     factory: &F,
     policy: EvalPolicy,
@@ -267,14 +276,8 @@ pub fn evaluate<F: WorkloadFactory>(
     let output_step = adapt_wf
         .graph()
         .step_id(factory.output_step())
-        .expect("output step must exist in the workflow");
-    let output_bound = ErrorBound::new(
-        adapt_wf
-            .info(output_step)
-            .error_bound()
-            .expect("output step must carry an error bound"),
-    )
-    .expect("bound validated by workflow");
+        .ok_or_else(|| CoreError::UnknownStep(factory.output_step().to_owned()))?;
+    let output_bound = bounded(&adapt_wf, output_step)?;
     let output_containers: Vec<ContainerRef> = adapt_wf.info(output_step).outputs().to_vec();
 
     // Managed steps: bounded and not always-run.
@@ -295,8 +298,7 @@ pub fn evaluate<F: WorkloadFactory>(
             let mut targets = HashMap::new();
             for &id in &managed {
                 let info = adapt_wf.info(id);
-                let bound = ErrorBound::new(info.error_bound().expect("managed steps are bounded"))
-                    .expect("bound validated");
+                let bound = bounded(&adapt_wf, id)?;
                 targets.insert(id, (bound, info.outputs().to_vec()));
             }
             (
@@ -404,7 +406,7 @@ pub fn evaluate<F: WorkloadFactory>(
         });
     }
 
-    telemetry.flush();
+    telemetry.flush().map_err(CoreError::Journal)?;
     Ok(EvalReport {
         workload: factory.name().to_owned(),
         policy: policy_name,

@@ -260,6 +260,8 @@ impl Predictor {
                 need: 4,
             });
         }
+        // tidy:allow(time): measures model build latency (Table 2), which is
+        // reported, never replayed
         let start = Instant::now();
         let quality = self.assess(&data)?;
 

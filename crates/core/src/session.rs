@@ -286,8 +286,14 @@ pub(crate) fn telemetry_for(
 impl Drop for SmartFluxSession {
     fn drop(&mut self) {
         // Journal sinks buffer; make sure records reach disk even when the
-        // caller never flushes explicitly.
-        self.telemetry.flush();
+        // caller never flushes explicitly. A failure here already bumped
+        // `telemetry.journal_errors`; Drop cannot propagate it, so it is
+        // loud in debug builds and counted (not swallowed) in release.
+        let flushed = self.telemetry.flush();
+        debug_assert!(
+            flushed.is_ok(),
+            "journal flush failed while dropping SmartFluxSession: {flushed:?}"
+        );
     }
 }
 

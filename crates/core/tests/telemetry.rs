@@ -78,7 +78,7 @@ fn journal_reconstructs_epsilon_and_confidence() {
 
     session.run_training().unwrap();
     session.run_waves(12).unwrap();
-    session.telemetry().flush();
+    session.telemetry().flush().unwrap();
 
     let records = read_journal(&path).unwrap();
     let diags = session.diagnostics();

@@ -77,6 +77,8 @@ impl VersionedCell {
         &self
             .versions
             .last()
+            // tidy:allow(panic): constructors start with one version and
+            // push never drains below max_versions >= 1, so `last` is Some
             .expect("cell invariant: at least one version")
             .1
     }
@@ -86,6 +88,8 @@ impl VersionedCell {
     pub fn current_ts(&self) -> Timestamp {
         self.versions
             .last()
+            // tidy:allow(panic): constructors start with one version and
+            // push never drains below max_versions >= 1, so `last` is Some
             .expect("cell invariant: at least one version")
             .0
     }

@@ -389,10 +389,16 @@ impl DataStore {
         if self.op_observer_count.load(Ordering::Relaxed) == 0 {
             return op_body();
         }
+        // tidy:allow(time): measures op latency for registered observers;
+        // reported, never replayed
         let start = Instant::now();
         let out = op_body();
         let elapsed = start.elapsed();
-        for obs in self.op_observers.read().snapshot() {
+        // Snapshot first so the observer-bus guard is released before any
+        // callback runs: an observer that (un)registers an observer or
+        // touches the store again must not deadlock on the bus lock.
+        let observers = self.op_observers.read().snapshot();
+        for obs in observers {
             obs.on_op(op, elapsed);
         }
         out

@@ -191,7 +191,7 @@ impl RandomForest {
         );
         for tree in &self.trees {
             out.push_str("tree\n");
-            out.push_str(&tree.to_text().expect("fitted forest holds fitted trees"));
+            out.push_str(&tree.to_text()?);
         }
         Some(out)
     }
@@ -284,10 +284,10 @@ impl Classifier for RandomForest {
                     .with_min_samples_split(self.min_samples_split)
                     .with_max_features(k)
                     .with_seed(self.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9));
-                tree.fit(&boot).expect("bootstrap sample is non-empty");
-                tree
+                tree.fit(&boot)?;
+                Ok(tree)
             })
-            .collect();
+            .collect::<Result<Vec<_>, MlError>>()?;
         Ok(())
     }
 

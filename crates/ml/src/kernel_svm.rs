@@ -184,7 +184,7 @@ impl KernelSvm {
         if d2s.is_empty() {
             return 1.0;
         }
-        d2s.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        d2s.sort_by(f64::total_cmp);
         let median = d2s[d2s.len() / 2];
         1.0 / (2.0 * median)
     }

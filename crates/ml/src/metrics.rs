@@ -181,11 +181,7 @@ pub fn roc_auc(actual: &[bool], scores: &[f64]) -> f64 {
 
     // Midranks of the scores.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores must not be NaN")
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -169,11 +169,7 @@ impl DecisionTree {
         for &f in &features {
             // Sort instances by this feature value.
             let mut order: Vec<usize> = indices.to_vec();
-            order.sort_by(|&a, &b| {
-                data.features(a)[f]
-                    .partial_cmp(&data.features(b)[f])
-                    .expect("dataset features are finite")
-            });
+            order.sort_by(|&a, &b| data.features(a)[f].total_cmp(&data.features(b)[f]));
 
             let total_pos = order.iter().filter(|&&i| data.label(i)).count() as f64;
             let mut left_pos = 0.0;

@@ -208,10 +208,22 @@ fn array_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// locks of its own.
 pub trait JournalSink: Send + Sync + fmt::Debug {
     /// Appends one record.
-    fn record(&self, record: &WaveDecisionRecord);
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures; callers ([`Telemetry`](crate::Telemetry))
+    /// count them into the `telemetry.journal_errors` counter instead of
+    /// letting a broken sink take a wave down.
+    fn record(&self, record: &WaveDecisionRecord) -> std::io::Result<()>;
 
     /// Flushes buffered records to durable storage (no-op by default).
-    fn flush(&self) {}
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures, like [`record`](Self::record).
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
 
     /// Where records end up, for human-readable reporting (a file path for
     /// file-backed sinks, `None` otherwise).
@@ -250,14 +262,13 @@ impl JsonlSink {
 }
 
 impl JournalSink for JsonlSink {
-    fn record(&self, record: &WaveDecisionRecord) {
+    fn record(&self, record: &WaveDecisionRecord) -> std::io::Result<()> {
         let mut w = self.writer.lock();
-        // A failed journal write must never take the workflow down.
-        let _ = writeln!(w, "{}", record.to_json());
+        writeln!(w, "{}", record.to_json())
     }
 
-    fn flush(&self) {
-        let _ = self.writer.lock().flush();
+    fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().flush()
     }
 
     fn path(&self) -> Option<&Path> {
@@ -298,8 +309,9 @@ impl MemoryJournal {
 }
 
 impl JournalSink for MemoryJournal {
-    fn record(&self, record: &WaveDecisionRecord) {
+    fn record(&self, record: &WaveDecisionRecord) -> std::io::Result<()> {
         self.records.lock().push(record.clone());
+        Ok(())
     }
 }
 
@@ -340,18 +352,36 @@ impl Journal {
         !self.sinks.is_empty()
     }
 
-    /// Fans `record` out to every sink.
-    pub fn record(&self, record: &WaveDecisionRecord) {
+    /// Fans `record` out to every sink. Every sink is attempted even if an
+    /// earlier one fails; the first failure is reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink failure.
+    pub fn record(&self, record: &WaveDecisionRecord) -> std::io::Result<()> {
+        let mut first_err = None;
         for sink in &self.sinks {
-            sink.record(record);
+            if let Err(e) = sink.record(record) {
+                first_err.get_or_insert(e);
+            }
         }
+        first_err.map_or(Ok(()), Err)
     }
 
-    /// Flushes every sink.
-    pub fn flush(&self) {
+    /// Flushes every sink; every sink is attempted even if an earlier one
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink failure.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut first_err = None;
         for sink in &self.sinks {
-            sink.flush();
+            if let Err(e) = sink.flush() {
+                first_err.get_or_insert(e);
+            }
         }
+        first_err.map_or(Ok(()), Err)
     }
 
     /// The first file-backed sink's path, if any.
@@ -403,8 +433,8 @@ mod tests {
     fn memory_journal_collects() {
         let j = MemoryJournal::new();
         assert!(j.is_empty());
-        j.record(&sample(1, None));
-        j.record(&sample(2, None));
+        j.record(&sample(1, None)).expect("memory record");
+        j.record(&sample(2, None)).expect("memory record");
         assert_eq!(j.len(), 2);
         assert_eq!(j.records()[1].wave, 2);
     }
@@ -416,9 +446,9 @@ mod tests {
             std::process::id()
         ));
         let sink = JsonlSink::create(&path).expect("create journal");
-        sink.record(&sample(1, Some(0.2)));
-        sink.record(&sample(2, None));
-        sink.flush();
+        sink.record(&sample(1, Some(0.2))).expect("record");
+        sink.record(&sample(2, None)).expect("record");
+        sink.flush().expect("flush");
         let records = read_journal(&path).expect("read journal");
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].measured_epsilon, Some(0.2));
@@ -435,7 +465,7 @@ mod tests {
         assert!(!j.has_sinks());
         j.add_sink(a.clone());
         j.add_sink(b.clone());
-        j.record(&sample(5, None));
+        j.record(&sample(5, None)).expect("fan-out record");
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
         assert!(j.file_path().is_none());

@@ -193,17 +193,29 @@ impl Telemetry {
     }
 
     /// Writes one wave-decision record to every attached journal sink.
-    /// No-op while disabled.
+    /// No-op while disabled. A sink failure never propagates into the
+    /// wave: it is counted into [`names::JOURNAL_ERRORS`] instead.
     pub fn journal(&self, record: &WaveDecisionRecord) {
         if !self.is_enabled() {
             return;
         }
-        self.inner.journal.read().record(record);
+        if self.inner.journal.read().record(record).is_err() {
+            self.inner.registry.counter(names::JOURNAL_ERRORS).incr();
+        }
     }
 
-    /// Flushes every journal sink.
-    pub fn flush(&self) {
-        self.inner.journal.read().flush();
+    /// Flushes every journal sink, counting failures into
+    /// [`names::JOURNAL_ERRORS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink failure so shutdown paths can surface it.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let result = self.inner.journal.read().flush();
+        if result.is_err() {
+            self.inner.registry.counter(names::JOURNAL_ERRORS).incr();
+        }
+        result
     }
 
     /// The first file-backed journal sink's path, if any.
@@ -246,6 +258,8 @@ pub mod names {
     pub const STORE_READ_LATENCY: &str = "store.read";
     /// Latency of data-store write operations.
     pub const STORE_WRITE_LATENCY: &str = "store.write";
+    /// Journal sink failures (failed record writes or flushes).
+    pub const JOURNAL_ERRORS: &str = "telemetry.journal_errors";
 }
 
 #[cfg(test)]
@@ -317,6 +331,47 @@ mod tests {
         t.add_journal_sink(Arc::new(JsonlSink::create(&path).unwrap()));
         assert_eq!(t.journal_path(), Some(path.clone()));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[derive(Debug)]
+    struct FailingSink;
+
+    impl JournalSink for FailingSink {
+        fn record(&self, _record: &WaveDecisionRecord) -> std::io::Result<()> {
+            Err(std::io::Error::other("sink broken"))
+        }
+
+        fn flush(&self) -> std::io::Result<()> {
+            Err(std::io::Error::other("sink broken"))
+        }
+    }
+
+    #[test]
+    fn sink_failures_feed_the_error_counter() {
+        let t = Telemetry::enabled();
+        t.add_journal_sink(Arc::new(FailingSink));
+        // A healthy sink after the broken one must still receive records.
+        let healthy = Arc::new(MemoryJournal::new());
+        t.add_journal_sink(healthy.clone());
+
+        t.journal(&WaveDecisionRecord {
+            wave: 1,
+            phase: "training",
+            step: "s".into(),
+            step_index: 0,
+            impacts: vec![],
+            predicted: vec![],
+            executed: true,
+            confidence: 1.0,
+            max_epsilon: 0.1,
+            measured_epsilon: None,
+        });
+        assert_eq!(healthy.len(), 1);
+        assert_eq!(t.snapshot().counter(names::JOURNAL_ERRORS), 1);
+
+        let flushed = t.flush();
+        assert!(flushed.is_err());
+        assert_eq!(t.snapshot().counter(names::JOURNAL_ERRORS), 2);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! A minimal, purpose-built Rust lexer.
+//!
+//! The checks in this crate are substring-based, so the one job of the
+//! lexer is to make sure those substrings are only ever searched in *code*:
+//! it splits a source file into per-line code text (string/char-literal
+//! contents blanked out, comments removed) and per-line comment text (where
+//! `tidy:allow` annotations and `TODO` markers live). It understands line and
+//! nested block comments, regular/byte/raw string literals, character
+//! literals, and tells lifetimes apart from character literals.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The raw line as it appears on disk (without the trailing newline).
+    pub raw: String,
+    /// Code text: comments stripped, string and char literal contents
+    /// replaced by spaces (the delimiting quotes are kept so token
+    /// boundaries survive).
+    pub code: String,
+    /// Comment text appearing on this line (line, block, and doc comments,
+    /// without their `//` / `/*` markers).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+}
+
+/// Lexes `source` into per-line code/comment views.
+#[must_use]
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut cur = LexedLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            cur.raw = String::new(); // filled below from source lines
+            lines.push(std::mem::take(&mut cur));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc-comment markers so `comment` holds content.
+                    if at(i) == Some('/') || at(i) == Some('!') {
+                        i += 1;
+                    }
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && is_raw_string_start(&chars, i) {
+                    let hashes = count_hashes(&chars, i + 1);
+                    cur.code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 1 + hashes + 1; // r, hashes, opening quote
+                } else if c == 'b' && at(i + 1) == Some('r') && is_raw_string_start(&chars, i + 1) {
+                    let hashes = count_hashes(&chars, i + 2);
+                    cur.code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes + 1;
+                } else if c == 'b' && at(i + 1) == Some('"') {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 2;
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if at(i + 1) == Some('\\') {
+                        // Escaped char literal: scan to the closing quote.
+                        cur.code.push('\'');
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push('\'');
+                        i = j + 1;
+                    } else if at(i + 2) == Some('\'') && at(i + 1) != Some('\'') {
+                        cur.code.push('\'');
+                        cur.code.push(' ');
+                        cur.code.push('\'');
+                        i += 3;
+                    } else {
+                        // A lifetime (or the label of a loop): plain code.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && at(i + 1) == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && at(i + 1) == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if at(i + 1).is_some_and(|n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !source.is_empty() && !source.ends_with('\n') {
+        lines.push(cur);
+    }
+
+    // Attach the raw text per line.
+    for (line, raw) in lines.iter_mut().zip(source.lines()) {
+        line.raw = raw.to_owned();
+    }
+    lines
+}
+
+/// Does `chars[i] == 'r'` begin a raw string literal (`r"`, `r#"`, ...)?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Avoid treating identifiers ending in `r` (e.g. `var"`) as raw strings:
+    // the previous char must not be part of an identifier.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> usize {
+    let start = i;
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    i - start
+}
+
+/// Does the `"` at `chars[i]` close a raw string with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let l = lex("let x = 1; // unwrap() here is fine\n");
+        assert_eq!(l[0].code.trim_end(), "let x = 1;");
+        assert!(l[0].comment.contains("unwrap()"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = lex("let s = \".unwrap()\";\n");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].code.contains('"'));
+    }
+
+    #[test]
+    fn handles_escapes_in_strings() {
+        let l = lex("let s = \"a\\\"b.unwrap()\"; x.unwrap();\n");
+        assert_eq!(l[0].code.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn handles_raw_strings() {
+        let l = lex("let s = r#\"panic!(\"no\")\"#; y\n");
+        assert!(!l[0].code.contains("panic!"));
+        assert!(l[0].code.ends_with(" y"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let l = lex("let s = \"line one\ntodo!()\nend\"; code();\n");
+        assert!(!l[1].code.contains("todo!"));
+        assert!(l[2].code.contains("code()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* x /* y */ z */ b\n");
+        assert_eq!(l[0].code.replace(' ', ""), "ab");
+        assert!(l[0].comment.contains('y'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; g(c) }\n");
+        assert!(l[0].code.contains("&'a str"));
+        assert!(!l[0].code.contains("'x'"));
+        assert!(l[0].code.contains("g(c)"));
+    }
+
+    #[test]
+    fn doc_comment_text_is_captured() {
+        let l = lex("/// TODO fix me\nfn f() {}\n");
+        assert!(l[0].comment.contains("TODO"));
+        assert!(l[0].code.trim().is_empty());
+        assert!(l[1].code.contains("fn f"));
+    }
+}

@@ -1,0 +1,202 @@
+//! The ratchet file: per-check, per-crate counts of tolerated violations.
+//!
+//! The ratchet makes legacy debt explicit and monotonically decreasing:
+//! a `(check, crate)` cell may hold at most the committed count, and when
+//! the real count drops below it the run *fails* until the file is
+//! tightened (`--write-ratchet`), so improvements are locked in by every
+//! PR that makes them. The format is a two-level JSON object with sorted
+//! keys, written and parsed by this module alone (no external JSON crate).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `check id → crate name → tolerated violation count`.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Serialises `counts` in the committed format (sorted, 2-space indent,
+/// trailing newline). Zero cells are omitted.
+#[must_use]
+pub fn to_json(counts: &Counts) -> String {
+    let mut out = String::from("{\n");
+    let non_empty: Vec<_> = counts
+        .iter()
+        .filter(|(_, per)| per.values().any(|&v| v > 0))
+        .collect();
+    for (ci, (check, per_crate)) in non_empty.iter().enumerate() {
+        let _ = writeln!(out, "  \"{check}\": {{");
+        let cells: Vec<_> = per_crate.iter().filter(|(_, &v)| v > 0).collect();
+        for (ki, (krate, count)) in cells.iter().enumerate() {
+            let comma = if ki + 1 < cells.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{krate}\": {count}{comma}");
+        }
+        let comma = if ci + 1 < non_empty.len() { "," } else { "" };
+        let _ = writeln!(out, "  }}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the format written by [`to_json`] (tolerating arbitrary
+/// whitespace). Returns `Err` with a human-readable message on malformed
+/// input.
+pub fn from_json(text: &str) -> Result<Counts, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let counts = p.object(|p| {
+        p.object(|p| p.number())
+            .map(|inner| inner.into_iter().collect())
+    })?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing characters at offset {}", p.pos));
+    }
+    Ok(counts.into_iter().collect())
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.pos,
+                self.chars.get(self.pos)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_char('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    if let Some(&c) = self.chars.get(self.pos) {
+                        s.push(c);
+                        self.pos += 1;
+                    }
+                }
+                Some(&c) => {
+                    s.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|e| format!("bad number: {e}"))
+    }
+
+    /// Parses `{ "k": <value>, ... }` where each value comes from `value`.
+    fn object<T>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<(String, T)>, String> {
+        self.expect_char('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect_char(':')?;
+            out.push((key, value(self)?));
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some(',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        let mut c = Counts::new();
+        c.entry("panic".into())
+            .or_default()
+            .insert("smartflux-ml".into(), 3);
+        c.entry("panic".into())
+            .or_default()
+            .insert("smartflux-bench".into(), 7);
+        c.entry("time".into())
+            .or_default()
+            .insert("smartflux-workloads".into(), 1);
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let text = to_json(&c);
+        assert_eq!(from_json(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn zero_cells_are_dropped() {
+        let mut c = sample();
+        c.entry("lock-std".into())
+            .or_default()
+            .insert("smartflux".into(), 0);
+        let text = to_json(&c);
+        assert!(!text.contains("lock-std"));
+    }
+
+    #[test]
+    fn empty_object() {
+        assert!(from_json("{}\n").unwrap().is_empty());
+        assert_eq!(to_json(&Counts::new()), "{\n}\n");
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{\"a\": 1}").is_err()); // values must be objects
+        assert!(from_json("{\"a\": {\"b\": true}}").is_err());
+    }
+}

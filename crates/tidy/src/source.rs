@@ -1,0 +1,244 @@
+//! The per-file source model shared by all checks: lexed lines, brace
+//! depth, `#[cfg(test)]` block marking, and `tidy:allow` annotations.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use crate::lex::{lex, LexedLine};
+
+/// What kind of compilation target a file belongs to. Panic/lock/telemetry
+/// checks only apply to [`FileRole::Lib`]; tests, benches, bins and
+/// examples are allowed to fail loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code (`src/**`, excluding `src/bin/`).
+    Lib,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Binary targets (`src/bin/**`).
+    Bin,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+impl FileRole {
+    /// Infers the role from a path relative to the crate root.
+    #[must_use]
+    pub fn from_relative_path(rel: &str) -> Self {
+        let rel = rel.replace('\\', "/");
+        if rel.starts_with("tests/") {
+            Self::Test
+        } else if rel.starts_with("benches/") {
+            Self::Bench
+        } else if rel.starts_with("examples/") {
+            Self::Example
+        } else if rel.starts_with("src/bin/") || rel == "src/main.rs" {
+            Self::Bin
+        } else {
+            Self::Lib
+        }
+    }
+}
+
+/// A lexed source file plus the derived facts checks need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: PathBuf,
+    /// Target kind this file compiles into.
+    pub role: FileRole,
+    /// The lexed lines.
+    pub lines: Vec<LexedLine>,
+    /// `true` for lines inside a `#[cfg(test)]` block.
+    is_test: Vec<bool>,
+    /// Brace depth (code braces only) at the start of each line.
+    depth_at_start: Vec<usize>,
+    /// Check ids suppressed on each line via `tidy:allow(<id>): reason`.
+    allows: Vec<HashSet<String>>,
+    /// Lines carrying a `tidy:allow` comment with a missing/empty reason.
+    pub malformed_allows: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lexes `source` and computes the derived line facts.
+    #[must_use]
+    pub fn parse(path: PathBuf, role: FileRole, source: &str) -> Self {
+        let lines = lex(source);
+        let n = lines.len();
+        let mut is_test = vec![false; n];
+        let mut depth_at_start = vec![0usize; n];
+
+        // Brace depth + #[cfg(test)] block marking.
+        let mut depth = 0usize;
+        let mut pending_cfg_test = false;
+        let mut test_until_depth: Option<usize> = None;
+        for (idx, line) in lines.iter().enumerate() {
+            depth_at_start[idx] = depth;
+            if test_until_depth.is_some() || pending_cfg_test {
+                is_test[idx] = true;
+            }
+            if test_until_depth.is_none() && line.code.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+                is_test[idx] = true;
+            }
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        if pending_cfg_test && test_until_depth.is_none() {
+                            test_until_depth = Some(depth);
+                            pending_cfg_test = false;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_until_depth == Some(depth) {
+                            test_until_depth = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // tidy:allow annotations. A standalone comment line suppresses the
+        // next line that has code; a trailing comment suppresses its own
+        // line.
+        let mut allows: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        let mut malformed_allows = Vec::new();
+        let mut pending: HashSet<String> = HashSet::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let mut here: HashSet<String> = HashSet::new();
+            let mut rest = line.comment.as_str();
+            while let Some(start) = rest.find("tidy:allow(") {
+                // Ignore mentions inside backticked code spans — docs talk
+                // about the syntax without invoking it.
+                let abs = line.comment.len() - rest.len() + start;
+                if line.comment[..abs].matches('`').count() % 2 == 1 {
+                    rest = &rest[start + "tidy:allow(".len()..];
+                    continue;
+                }
+                let after = &rest[start + "tidy:allow(".len()..];
+                let Some(close) = after.find(')') else {
+                    malformed_allows.push(idx + 1);
+                    break;
+                };
+                let id = after[..close].trim();
+                let tail = &after[close + 1..];
+                let reason_ok = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+                if id.is_empty() || !reason_ok {
+                    malformed_allows.push(idx + 1);
+                } else {
+                    here.insert(id.to_owned());
+                }
+                rest = tail;
+            }
+            let has_code = !line.code.trim().is_empty();
+            if has_code {
+                allows[idx].extend(pending.drain());
+                allows[idx].extend(here);
+            } else {
+                pending.extend(here);
+            }
+        }
+
+        Self {
+            path,
+            role,
+            lines,
+            is_test,
+            depth_at_start,
+            allows,
+            malformed_allows,
+        }
+    }
+
+    /// Whether 1-based `line` sits inside a `#[cfg(test)]` block.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Brace depth at the start of 1-based `line`.
+    #[must_use]
+    pub fn depth_at(&self, line: usize) -> usize {
+        self.depth_at_start.get(line - 1).copied().unwrap_or(0)
+    }
+
+    /// Whether `check` is suppressed on 1-based `line`.
+    #[must_use]
+    pub fn is_allowed(&self, line: usize, check: &str) -> bool {
+        self.allows.get(line - 1).is_some_and(|s| s.contains(check))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), FileRole::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let f = parse(
+            "fn lib() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { x.unwrap(); }\n\
+             }\n\
+             fn lib2() {}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_applies_to_same_line_and_next_line() {
+        let f = parse(
+            "a(); // tidy:allow(panic): trailing form\n\
+             // tidy:allow(time): standalone form\n\
+             b();\n\
+             c();\n",
+        );
+        assert!(f.is_allowed(1, "panic"));
+        assert!(f.is_allowed(3, "time"));
+        assert!(!f.is_allowed(4, "time"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = parse("x(); // tidy:allow(panic)\ny(); // tidy:allow(panic):   \n");
+        assert_eq!(f.malformed_allows, vec![1, 2]);
+        assert!(!f.is_allowed(1, "panic"));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let f = parse("fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(f.depth_at(1), 0);
+        assert_eq!(f.depth_at(3), 2);
+        assert_eq!(f.depth_at(5), 1);
+    }
+
+    #[test]
+    fn file_roles_from_paths() {
+        assert_eq!(FileRole::from_relative_path("src/lib.rs"), FileRole::Lib);
+        assert_eq!(FileRole::from_relative_path("src/bin/x.rs"), FileRole::Bin);
+        assert_eq!(FileRole::from_relative_path("tests/t.rs"), FileRole::Test);
+        assert_eq!(
+            FileRole::from_relative_path("benches/b.rs"),
+            FileRole::Bench
+        );
+        assert_eq!(
+            FileRole::from_relative_path("examples/e.rs"),
+            FileRole::Example
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The real workspace must pass tidy against the committed ratchet — the
+//! same invariant CI enforces, checked here without spawning a process.
+
+use std::path::Path;
+
+use smartflux_tidy::checks::ALL_CHECKS;
+use smartflux_tidy::ratchet;
+use smartflux_tidy::runner;
+
+fn workspace_root() -> &'static Path {
+    // crates/tidy -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("tidy sits two levels under the workspace root")
+}
+
+#[test]
+fn workspace_passes_with_committed_ratchet() {
+    let root = workspace_root();
+    let units = runner::load_workspace(root).expect("load workspace");
+    assert!(
+        units.iter().any(|u| u.name == "smartflux")
+            && units.iter().any(|u| u.name == "smartflux-tidy"),
+        "workspace discovery must see the core and tidy crates"
+    );
+
+    let diagnostics = runner::run_checks(&units, &ALL_CHECKS);
+    let live = runner::count_by_crate(&units, &diagnostics);
+
+    let budget_text = std::fs::read_to_string(root.join("tidy-ratchet.json"))
+        .expect("committed tidy-ratchet.json");
+    let budget = ratchet::from_json(&budget_text).expect("parse ratchet");
+
+    let report = runner::compare_ratchet(&live, &budget, &ALL_CHECKS);
+    assert!(
+        report.over.is_empty(),
+        "new tidy violations over budget: {:?}\nfirst diagnostics: {:#?}",
+        report.over,
+        diagnostics.iter().take(10).collect::<Vec<_>>()
+    );
+    assert!(
+        report.stale.is_empty(),
+        "tidy-ratchet.json is stale (counts improved): {:?} — run \
+         `cargo run -p smartflux-tidy -- --workspace --ratchet tidy-ratchet.json \
+         --write-ratchet` and commit it",
+        report.stale
+    );
+}
+
+#[test]
+fn burned_down_crates_have_zero_panic_debt() {
+    // The PR's acceptance bar: no panic findings at all (not even budgeted
+    // ones) in the engine, scheduler, datastore, telemetry, and ml crates.
+    let root = workspace_root();
+    let units = runner::load_workspace(root).expect("load workspace");
+    let diagnostics = runner::run_checks(&units, &ALL_CHECKS);
+    let offenders: Vec<_> = diagnostics
+        .iter()
+        .filter(|d| d.check.as_str() == "panic")
+        .filter(|d| {
+            [
+                "crates/core/",
+                "crates/wms/",
+                "crates/datastore/",
+                "crates/telemetry/",
+                "crates/ml/",
+            ]
+            .iter()
+            .any(|p| d.path.starts_with(p))
+        })
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "panic debt crept back: {offenders:#?}"
+    );
+}

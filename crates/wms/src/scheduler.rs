@@ -187,8 +187,12 @@ impl Scheduler {
                     .workflow
                     .info(step)
                     .implementation()
-                    .expect("checked by first_unbound")
+                    .ok_or_else(|| {
+                        WmsError::UnboundStep(self.workflow.graph().step_name(step).to_owned())
+                    })?
                     .clone();
+                // tidy:allow(time): measures step latency for SchedulerStats;
+                // reported, never replayed
                 let start = Instant::now();
                 implementation
                     .execute(&ctx)
@@ -311,17 +315,24 @@ impl Scheduler {
             }
 
             // Phase 2: concurrent execution of the level's triggered steps.
+            let mut implementations = Vec::with_capacity(to_run.len());
+            for &step in &to_run {
+                let implementation = self
+                    .workflow
+                    .info(step)
+                    .implementation()
+                    .ok_or_else(|| {
+                        WmsError::UnboundStep(self.workflow.graph().step_name(step).to_owned())
+                    })?
+                    .clone();
+                implementations.push(implementation);
+            }
             let results: Vec<(StepId, Result<std::time::Duration, StepError>)> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = to_run
                         .iter()
-                        .map(|&step| {
-                            let implementation = self
-                                .workflow
-                                .info(step)
-                                .implementation()
-                                .expect("checked by first_unbound")
-                                .clone();
+                        .zip(&implementations)
+                        .map(|(&step, implementation)| {
                             let ctx = StepContext::new(
                                 self.store.clone(),
                                 wave,
@@ -329,6 +340,8 @@ impl Scheduler {
                                 self.workflow.graph().step_name(step),
                             );
                             scope.spawn(move || {
+                                // tidy:allow(time): measures step latency for
+                                // SchedulerStats; reported, never replayed
                                 let start = Instant::now();
                                 implementation.execute(&ctx).map(|()| start.elapsed())
                             })
@@ -337,7 +350,14 @@ impl Scheduler {
                     to_run
                         .iter()
                         .zip(handles)
-                        .map(|(&step, h)| (step, h.join().expect("step thread must not panic")))
+                        .map(|(&step, h)| {
+                            // A panicking step must fail its wave, not tear
+                            // down the scheduler thread.
+                            let result = h
+                                .join()
+                                .unwrap_or_else(|_| Err(StepError::msg("step panicked")));
+                            (step, result)
+                        })
                         .collect()
                 });
 

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use smartflux::eval::EvalPolicy;
 use smartflux_bench::{pct, Workload};
-use smartflux_telemetry::json_string;
+use smartflux_telemetry::{json_string, names};
 
 struct Args {
     bound: f64,
@@ -92,10 +92,18 @@ fn run_json(args: &Args) {
             || "null".to_owned(),
             |p| json_string(&p.display().to_string()),
         );
+        let snapshot = report.telemetry.snapshot();
+        let fault_json = format!(
+            "{{\"waves_aborted\":{},\"step_retries\":{},\"steps_failed\":{},\"sdf_fallbacks\":{}}}",
+            snapshot.counter(names::WAVES_ABORTED),
+            snapshot.counter(names::STEP_RETRIES),
+            snapshot.counter(names::STEPS_FAILED),
+            snapshot.counter(names::SDF_FALLBACKS),
+        );
         println!(
             "{{\"workload\":{},\"bound\":{},\"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
              \"smartflux\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
-             \"model_quality\":{},\"journal_path\":{},\"telemetry\":{}}}",
+             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"telemetry\":{}}}",
             json_string(wl.id()),
             args.bound,
             oracle.normalized_executions(),
@@ -106,7 +114,8 @@ fn run_json(args: &Args) {
             report.confidence.violations(),
             quality_json,
             journal_json,
-            report.telemetry.snapshot().to_json(),
+            fault_json,
+            snapshot.to_json(),
         );
     }
 }

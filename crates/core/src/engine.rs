@@ -17,6 +17,14 @@
 //!
 //! The engine plugs into the WMS as a [`TriggerPolicy`] (the paper's "WMS
 //! Adaptation" + notification scheme).
+//!
+//! **Graceful degradation.** When the predictor is unavailable, or a step
+//! failure is reported via [`TriggerPolicy::step_failed`], the engine falls
+//! back to synchronous (always-trigger) execution for the affected steps —
+//! the failed step and its QoD descendants — until they complete a wave
+//! again. Each such decision increments the `engine.sdf_fallbacks` counter.
+//! Training waves polluted by a failure contribute no knowledge-base
+//! example and no confidence sample.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -133,6 +141,16 @@ pub struct QodEngine {
     /// Application waves run since the last (re)training, for the periodic
     /// retraining schedule.
     application_waves_since_training: u64,
+    /// Graceful degradation: QoD steps forced back to synchronous (always
+    /// trigger) execution because they — or an upstream step — failed.
+    /// Cleared per step once it completes a wave again.
+    sdf_fallback: Vec<bool>,
+    /// Whether any step failed during the current wave; a failed wave has no
+    /// trustworthy ground truth, so training examples from it are dropped.
+    failed_this_wave: bool,
+    /// Steps the scheduler deferred this wave (workflow-wide), carried into
+    /// the journal records.
+    deferred_this_wave: u64,
 }
 
 impl QodEngine {
@@ -260,6 +278,9 @@ impl QodEngine {
             training_extensions_used: 0,
             quality_met,
             application_waves_since_training: 0,
+            sdf_fallback: vec![false; n],
+            failed_this_wave: false,
+            deferred_this_wave: 0,
         })
     }
 
@@ -483,27 +504,34 @@ impl QodEngine {
             .map(|(e, s)| s.bound.is_violated_by(*e))
             .collect();
 
-        // The engine built the KB with its own step count, so a shape
-        // mismatch is an internal invariant break; a training wave must
-        // still complete in release builds, so the example is dropped
-        // rather than poisoning the wave.
-        if let Err(e) = self.kb.append(wave, impacts.clone(), labels.clone()) {
-            debug_assert!(false, "kb append rejected engine-shaped example: {e}");
-        }
-
-        // Virtual executions: reset baselines where the bound fired.
-        for (idx, fired) in labels.iter().enumerate() {
-            if *fired {
-                self.reset_input_baselines(idx);
-                self.reset_output_baselines(idx);
+        if self.failed_this_wave {
+            // A wave with a step failure has no trustworthy ground truth:
+            // outputs may be partial or stale, so the example would poison
+            // the knowledge base and the confidence series. Drop it; the
+            // wave still journals and counts toward the training window.
+        } else {
+            // The engine built the KB with its own step count, so a shape
+            // mismatch is an internal invariant break; a training wave must
+            // still complete in release builds, so the example is dropped
+            // rather than poisoning the wave.
+            if let Err(e) = self.kb.append(wave, impacts.clone(), labels.clone()) {
+                debug_assert!(false, "kb append rejected engine-shaped example: {e}");
             }
-        }
 
-        // Ground truth exists on training waves: fold bound compliance into
-        // the per-step confidence series (Fig. 10). A fired label means the
-        // measured ε exceeded maxε this wave.
-        for (idx, fired) in labels.iter().enumerate() {
-            self.confidence[idx].record(!*fired);
+            // Virtual executions: reset baselines where the bound fired.
+            for (idx, fired) in labels.iter().enumerate() {
+                if *fired {
+                    self.reset_input_baselines(idx);
+                    self.reset_output_baselines(idx);
+                }
+            }
+
+            // Ground truth exists on training waves: fold bound compliance
+            // into the per-step confidence series (Fig. 10). A fired label
+            // means the measured ε exceeded maxε this wave.
+            for (idx, fired) in labels.iter().enumerate() {
+                self.confidence[idx].record(!*fired);
+            }
         }
         self.journal_wave(wave, "training", &impacts, &labels, Some(&errors));
 
@@ -543,10 +571,19 @@ impl QodEngine {
                 impacts: impacts.to_vec(),
                 predicted: predicted.to_vec(),
                 executed: predicted[idx],
+                deferred: self.deferred_this_wave,
                 confidence: self.confidence[idx].confidence(),
                 max_epsilon: step.bound.value(),
                 measured_epsilon: errors.map(|e| e[idx]),
             });
+        }
+    }
+
+    /// Counts one graceful-degradation decision (predictor unavailable or a
+    /// failure reverted the step to synchronous execution).
+    fn note_sdf_fallback(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::SDF_FALLBACKS).incr();
         }
     }
 
@@ -593,6 +630,8 @@ impl TriggerPolicy for QodEngine {
         self.monitor.begin_wave();
         let n = self.steps.len();
         self.current_decisions = vec![false; n];
+        self.failed_this_wave = false;
+        self.deferred_this_wave = 0;
     }
 
     fn should_trigger(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) -> bool {
@@ -606,11 +645,25 @@ impl TriggerPolicy for QodEngine {
                 true
             }
             Phase::Application => {
+                // Graceful degradation: after a failure touching this step,
+                // run it synchronously until it completes a wave again.
+                if self.sdf_fallback[idx] {
+                    self.note_sdf_fallback();
+                    self.current_decisions[idx] = true;
+                    return true;
+                }
                 self.current_impacts[idx] = self.compute_impact(idx);
                 let features = self.current_impacts.clone();
                 let decision = {
                     let _span = self.telemetry.span(names::PREDICT_LATENCY, idx as u64);
-                    self.predictor.predict_step(idx, &features).unwrap_or(true) // fail safe: execute
+                    match self.predictor.predict_step(idx, &features) {
+                        Ok(d) => d,
+                        Err(_) => {
+                            // Predictor unavailable: fail safe, execute.
+                            self.note_sdf_fallback();
+                            true
+                        }
+                    }
                 };
                 self.current_decisions[idx] = decision;
                 decision
@@ -619,11 +672,37 @@ impl TriggerPolicy for QodEngine {
     }
 
     fn step_completed(&mut self, _wave: u64, step: StepId, _workflow: &Workflow) {
-        if self.phase == Phase::Application {
-            if let Some(&idx) = self.index_of.get(&step) {
+        if let Some(&idx) = self.index_of.get(&step) {
+            // A completed execution supersedes any failure-driven fallback.
+            self.sdf_fallback[idx] = false;
+            if self.phase == Phase::Application {
                 // The step ran: its input impact restarts from here.
                 self.reset_input_baselines(idx);
             }
+        }
+    }
+
+    fn step_deferred(&mut self, _wave: u64, _step: StepId, _workflow: &Workflow) {
+        self.deferred_this_wave += 1;
+    }
+
+    fn step_failed(&mut self, _wave: u64, step: StepId, workflow: &Workflow) {
+        self.failed_this_wave = true;
+        // The failed step and every QoD step downstream of it may be holding
+        // or consuming stale data; revert them to synchronous execution
+        // until they each complete a wave again.
+        let graph = workflow.graph();
+        let mut seen = vec![false; graph.len()];
+        let mut stack = vec![step];
+        while let Some(s) = stack.pop() {
+            if seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            if let Some(&idx) = self.index_of.get(&s) {
+                self.sdf_fallback[idx] = true;
+            }
+            stack.extend_from_slice(graph.successors(s));
         }
     }
 
@@ -719,6 +798,16 @@ impl TriggerPolicy for SharedEngine {
     fn step_skipped(&mut self, wave: u64, step: StepId, workflow: &Workflow) {
         // tidy:allow(lock-span): forwarding under the engine's own mutex
         self.0.lock().step_skipped(wave, step, workflow);
+    }
+
+    fn step_deferred(&mut self, wave: u64, step: StepId, workflow: &Workflow) {
+        // tidy:allow(lock-span): forwarding under the engine's own mutex
+        self.0.lock().step_deferred(wave, step, workflow);
+    }
+
+    fn step_failed(&mut self, wave: u64, step: StepId, workflow: &Workflow) {
+        // tidy:allow(lock-span): forwarding under the engine's own mutex
+        self.0.lock().step_failed(wave, step, workflow);
     }
 
     fn end_wave(&mut self, wave: u64, workflow: &Workflow) {

@@ -1,0 +1,112 @@
+//! Graceful degradation: when a step fails in the application phase, the
+//! engine reverts the affected QoD steps to synchronous (always-trigger)
+//! execution until they complete a wave again, counting each forced
+//! decision in `engine.sdf_fallbacks`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use smartflux::{EngineConfig, Phase, SmartFluxSession};
+use smartflux_datastore::{ContainerRef, DataStore, Value};
+use smartflux_telemetry::names;
+use smartflux_wms::{FnStep, GraphBuilder, StepContext, StepError, Workflow};
+
+/// A `feed → agg` pipeline whose QoD step `agg` fails exactly once, on its
+/// first execution after `armed` is raised (no retry budget).
+fn faulty_session(armed: Arc<AtomicBool>) -> SmartFluxSession {
+    let store = DataStore::new();
+    let raw = ContainerRef::family("t", "raw");
+    let out = ContainerRef::family("t", "out");
+    store.ensure_container(&raw).unwrap();
+    store.ensure_container(&out).unwrap();
+
+    let mut g = GraphBuilder::new("fallback");
+    let feed = g.add_step("feed");
+    let agg = g.add_step("agg");
+    g.add_edge(feed, agg).unwrap();
+    let mut wf = Workflow::new(g.build().unwrap());
+    wf.bind(
+        feed,
+        FnStep::new(|ctx: &StepContext| {
+            let w = ctx.wave() as f64;
+            ctx.put(
+                "t",
+                "raw",
+                "r",
+                "v",
+                Value::from(100.0 + (w / 4.0).sin() * 5.0),
+            )?;
+            Ok(())
+        }),
+    )
+    .source()
+    .writes(raw.clone());
+    wf.bind(
+        agg,
+        FnStep::new(move |ctx: &StepContext| {
+            // One-shot armed fault: fail the first execution after arming.
+            if armed.swap(false, Ordering::SeqCst) {
+                return Err(StepError::msg("injected fault: armed"));
+            }
+            let v = ctx.get_f64("t", "raw", "r", "v", 0.0)?;
+            ctx.put("t", "out", "r", "v", Value::from(v))?;
+            Ok(())
+        }),
+    )
+    .reads(raw)
+    .writes(out)
+    .error_bound(0.05);
+
+    let config = EngineConfig::new()
+        .with_training_waves(30)
+        .with_quality_gates(0.3, 0.3)
+        .with_seed(1)
+        .with_telemetry(true);
+    SmartFluxSession::new(wf, store, config).unwrap()
+}
+
+#[test]
+fn step_failure_reverts_qod_step_to_synchronous_execution() {
+    let armed = Arc::new(AtomicBool::new(false));
+    let mut s = faulty_session(armed.clone());
+    s.run_training().unwrap();
+    assert_eq!(s.phase(), Phase::Application);
+
+    // Arm the fault: the next wave that actually executes `agg` aborts.
+    armed.store(true, Ordering::SeqCst);
+    let mut aborted_wave = None;
+    for _ in 0..100 {
+        match s.run_wave() {
+            Ok(_) => {}
+            Err(e) => {
+                assert!(e.to_string().contains("injected fault"));
+                aborted_wave = Some(s.scheduler().next_wave() - 1);
+                break;
+            }
+        }
+    }
+    let aborted_wave = aborted_wave.expect("the armed fault must fire within 100 waves");
+    assert_eq!(s.scheduler().stats().waves_aborted(), 1);
+    assert!(!armed.load(Ordering::SeqCst), "fault fired exactly once");
+
+    // The next wave recovers: the engine forces the failed QoD step back
+    // to synchronous execution regardless of the predictor's opinion.
+    let agg = s.scheduler().workflow().graph().step_id("agg").unwrap();
+    let before = s.scheduler().stats().executions(agg);
+    let outcome = s.run_wave().unwrap();
+    assert_eq!(outcome.wave, aborted_wave + 1);
+    assert_eq!(
+        s.scheduler().stats().executions(agg),
+        before + 1,
+        "post-failure wave must execute the affected QoD step"
+    );
+    assert!(
+        s.telemetry().counter(names::SDF_FALLBACKS).get() >= 1,
+        "forced decisions are counted as SDF fallbacks"
+    );
+
+    // Once the step completes a wave, the fallback clears and adaptive
+    // execution resumes (further waves run without error).
+    s.run_waves(10).unwrap();
+    assert_eq!(s.scheduler().stats().waves_aborted(), 1);
+}

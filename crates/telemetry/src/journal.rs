@@ -39,6 +39,9 @@ pub struct WaveDecisionRecord {
     pub predicted: Vec<bool>,
     /// Whether *this* step executed this wave.
     pub executed: bool,
+    /// Number of steps deferred this wave (predecessor never executed) —
+    /// workflow-wide, so `diagnose --json` reports full wave activity.
+    pub deferred: u64,
     /// Running confidence that this step's output respects `maxε`
     /// (cumulative compliant-wave fraction over waves with ground truth).
     pub confidence: f64,
@@ -78,8 +81,8 @@ impl WaveDecisionRecord {
         }
         let _ = write!(
             out,
-            "],\"executed\":{},\"confidence\":{},\"max_epsilon\":{}",
-            self.executed, self.confidence, self.max_epsilon,
+            "],\"executed\":{},\"deferred\":{},\"confidence\":{},\"max_epsilon\":{}",
+            self.executed, self.deferred, self.confidence, self.max_epsilon,
         );
         match self.measured_epsilon {
             Some(e) => {
@@ -119,6 +122,10 @@ impl WaveDecisionRecord {
             })
             .collect::<Option<Vec<bool>>>()?;
         let executed = field(line, "executed")? == "true";
+        // Absent in journals written before the field existed: default 0.
+        let deferred = field(line, "deferred")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         let confidence = field(line, "confidence")?.parse().ok()?;
         let max_epsilon = field(line, "max_epsilon")?.parse().ok()?;
         let measured = field(line, "measured_epsilon")?;
@@ -135,6 +142,7 @@ impl WaveDecisionRecord {
             impacts,
             predicted,
             executed,
+            deferred,
             confidence,
             max_epsilon,
             measured_epsilon,
@@ -408,6 +416,7 @@ mod tests {
             impacts: vec![0.25, 1.5e-3],
             predicted: vec![true, false],
             executed: true,
+            deferred: 1,
             confidence: 0.975,
             max_epsilon: 0.05,
             measured_epsilon: eps,
@@ -421,6 +430,14 @@ mod tests {
             let back = WaveDecisionRecord::from_json(&line).expect("roundtrip parse");
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn legacy_lines_without_deferred_parse_as_zero() {
+        let line = sample(3, None).to_json().replace(",\"deferred\":1", "");
+        let back = WaveDecisionRecord::from_json(&line).expect("legacy parse");
+        assert_eq!(back.deferred, 0);
+        assert_eq!(back.wave, 3);
     }
 
     #[test]

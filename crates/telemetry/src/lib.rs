@@ -40,6 +40,7 @@
 //!     impacts: vec![0.3],
 //!     predicted: vec![true],
 //!     executed: true,
+//!     deferred: 0,
 //!     confidence: 1.0,
 //!     max_epsilon: 0.05,
 //!     measured_epsilon: Some(0.07),
@@ -244,6 +245,16 @@ pub mod names {
     pub const STEPS_SKIPPED: &str = "wms.steps_skipped";
     /// Steps deferred awaiting a first predecessor execution.
     pub const STEPS_DEFERRED: &str = "wms.steps_deferred";
+    /// Retry attempts consumed by failing steps (successful first attempts
+    /// count zero).
+    pub const STEP_RETRIES: &str = "wms.step_retries";
+    /// Steps that failed unrecoverably (retry budget spent).
+    pub const STEPS_FAILED: &str = "wms.steps_failed";
+    /// Waves aborted on an unrecoverable step failure.
+    pub const WAVES_ABORTED: &str = "wms.waves_aborted";
+    /// Engine fallbacks to synchronous (always-trigger) execution after a
+    /// predictor error or a step failure.
+    pub const SDF_FALLBACKS: &str = "engine.sdf_fallbacks";
     /// Latency of one QoD impact computation.
     pub const IMPACT_LATENCY: &str = "engine.impact";
     /// Latency of one predictor query.
@@ -285,6 +296,7 @@ mod tests {
             impacts: vec![],
             predicted: vec![],
             executed: true,
+            deferred: 0,
             confidence: 1.0,
             max_epsilon: 0.1,
             measured_epsilon: None,
@@ -362,6 +374,7 @@ mod tests {
             impacts: vec![],
             predicted: vec![],
             executed: true,
+            deferred: 0,
             confidence: 1.0,
             max_epsilon: 0.1,
             measured_epsilon: None,

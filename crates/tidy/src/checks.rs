@@ -110,7 +110,7 @@ impl fmt::Display for Diagnostic {
 /// Internal crates (prefix match for `smartflux`) and their permitted
 /// internal dependencies — the documented architecture. Crates absent from
 /// this table may depend on every internal crate (leaf consumers).
-const LAYERING: [(&str, &[&str]); 7] = [
+const LAYERING: [(&str, &[&str]); 9] = [
     ("smartflux-telemetry", &[]),
     ("smartflux-datastore", &[]),
     ("smartflux-ml", &[]),
@@ -130,6 +130,8 @@ const LAYERING: [(&str, &[&str]); 7] = [
     ),
     // The root package, workloads and bench may depend on everything.
     ("smartflux-repro", LEAF),
+    ("smartflux-workloads", LEAF),
+    ("smartflux-bench", LEAF),
 ];
 
 const LEAF: &[&str] = &["*"];
@@ -274,7 +276,7 @@ pub fn check_lock_std(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 /// Method calls that hand control to user/step/observer/sink code; holding
 /// a lock guard across one risks re-entrancy deadlocks and unbounded lock
 /// hold times mid-wave.
-const CALLBACK_TOKENS: [&str; 10] = [
+const CALLBACK_TOKENS: [&str; 12] = [
     ".execute(",
     ".on_write(",
     ".on_op(",
@@ -283,6 +285,8 @@ const CALLBACK_TOKENS: [&str; 10] = [
     ".should_trigger(",
     ".step_completed(",
     ".step_skipped(",
+    ".step_deferred(",
+    ".step_failed(",
     ".record(",
     ".flush(",
 ];

@@ -45,7 +45,26 @@ pub enum SchedulerEvent {
         /// The deferred step.
         step: StepId,
     },
-    /// A wave finished.
+    /// A step attempt failed and the scheduler is about to re-execute it
+    /// under the step's [`RetryPolicy`](crate::RetryPolicy).
+    StepRetried {
+        /// Wave number.
+        wave: u64,
+        /// The retried step.
+        step: StepId,
+        /// The attempt number about to run (the first retry is attempt 2).
+        attempt: u32,
+    },
+    /// A step exhausted its retry budget and failed for the wave.
+    StepFailed {
+        /// Wave number.
+        wave: u64,
+        /// The failed step.
+        step: StepId,
+        /// Total attempts performed (1 when retries are disabled).
+        attempts: u32,
+    },
+    /// A wave finished with every triggered step completed.
     WaveCompleted {
         /// Wave number.
         wave: u64,
@@ -53,6 +72,27 @@ pub enum SchedulerEvent {
         executed: usize,
         /// Number of steps skipped during the wave.
         skipped: usize,
+        /// Number of steps deferred during the wave.
+        deferred: usize,
+    },
+    /// A wave ended because one or more steps failed unrecoverably.
+    ///
+    /// Exactly one of `WaveCompleted` or `WaveAborted` closes every
+    /// `WaveStarted`; after an abort the scheduler is consistent and the
+    /// next `run_wave` starts a clean wave.
+    WaveAborted {
+        /// Wave number.
+        wave: u64,
+        /// Steps that executed successfully before the abort.
+        executed: usize,
+        /// Steps skipped before the abort.
+        skipped: usize,
+        /// Steps deferred before the abort.
+        deferred: usize,
+        /// Every step that failed this wave (the parallel scheduler can
+        /// abort with several sibling failures; the sequential one stops
+        /// at the first).
+        failed: Vec<StepId>,
     },
 }
 

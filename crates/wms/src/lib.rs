@@ -14,7 +14,12 @@
 //! - completion/trigger notifications ([`SchedulerEvent`]) mirroring the
 //!   Oozie↔SmartFlux RMI notification scheme;
 //! - per-step execution statistics ([`ExecutionStats`]), the resource-usage
-//!   metric of the paper's evaluation.
+//!   metric of the paper's evaluation;
+//! - fault tolerance: per-step [`RetryPolicy`] (bounded attempts,
+//!   deterministic backoff, optional watchdog timeout), clean wave-abort
+//!   semantics (`WaveAborted` closes every started wave; the next wave is
+//!   fresh), and a deterministic fault-injection harness ([`FaultyStep`])
+//!   for chaos tests.
 //!
 //! # Triggering semantics
 //!
@@ -73,18 +78,22 @@
 
 mod error;
 mod events;
+mod faults;
 mod graph;
 mod policy;
+mod retry;
 mod scheduler;
 mod stats;
 mod step;
 mod workflow;
 mod xmlspec;
 
-pub use error::{GraphError, WmsError};
+pub use error::{GraphError, StepFailure, WmsError};
 pub use events::{EventSubscription, SchedulerEvent};
+pub use faults::{FaultSchedule, FaultyStep};
 pub use graph::{GraphBuilder, StepId, WorkflowGraph};
 pub use policy::{SynchronousPolicy, TriggerPolicy};
+pub use retry::{Backoff, RetryPolicy};
 pub use scheduler::{Scheduler, WaveId, WaveOutcome};
 pub use stats::ExecutionStats;
 pub use step::{FnStep, Step, StepContext, StepError};

@@ -27,7 +27,17 @@ pub trait TriggerPolicy: Send {
     /// Called after `step` was skipped on `wave`.
     fn step_skipped(&mut self, _wave: u64, _step: StepId, _workflow: &Workflow) {}
 
-    /// Called once when a wave ends.
+    /// Called after `step` was deferred on `wave` (a predecessor has never
+    /// executed yet).
+    fn step_deferred(&mut self, _wave: u64, _step: StepId, _workflow: &Workflow) {}
+
+    /// Called after `step` failed unrecoverably on `wave` (its retry
+    /// budget is spent). The wave is about to abort; `end_wave` still
+    /// follows, so implementations can rely on a balanced lifecycle.
+    fn step_failed(&mut self, _wave: u64, _step: StepId, _workflow: &Workflow) {}
+
+    /// Called once when a wave ends — after `WaveCompleted` *and* after an
+    /// abort, so `begin_wave`/`end_wave` always pair up.
     fn end_wave(&mut self, _wave: u64, _workflow: &Workflow) {}
 }
 

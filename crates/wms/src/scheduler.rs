@@ -1,16 +1,20 @@
 //! The wave-based scheduler.
 
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use crossbeam::channel::{unbounded, RecvTimeoutError};
 use smartflux_datastore::DataStore;
 use smartflux_telemetry::{names, Telemetry};
 
-use crate::error::WmsError;
+use crate::error::{StepFailure, WmsError};
 use crate::events::{EventBus, EventSubscription, SchedulerEvent};
 use crate::graph::StepId;
 use crate::policy::TriggerPolicy;
+use crate::retry::RetryPolicy;
 use crate::stats::ExecutionStats;
-use crate::step::{StepContext, StepError};
+use crate::step::{Step, StepContext, StepError};
 use crate::workflow::Workflow;
 
 /// A wave (iteration) number; waves are numbered from 1.
@@ -34,6 +38,99 @@ impl WaveOutcome {
     #[must_use]
     pub fn did_execute(&self, step: StepId) -> bool {
         self.executed.contains(&step)
+    }
+}
+
+/// The result of driving one step through its retry budget.
+struct StepExecution {
+    /// Final result: busy time on success, the last attempt's error on
+    /// exhaustion.
+    outcome: Result<Duration, StepError>,
+    /// Total attempts performed (1 = succeeded first try or no retries).
+    attempts: u32,
+}
+
+/// Executes `implementation` under `retry`: up to `max_attempts` tries,
+/// separated by the policy's deterministic backoff delays, each optionally
+/// bounded by a watchdog timeout. A fresh [`StepContext`] is built per
+/// attempt. Runs on the calling thread, so the parallel scheduler invokes
+/// it from each worker and sibling backoffs overlap instead of serialising.
+fn run_step_with_retry(
+    implementation: &Arc<dyn Step>,
+    retry: RetryPolicy,
+    store: &DataStore,
+    wave: WaveId,
+    step: StepId,
+    name: &str,
+) -> StepExecution {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let delay = retry.delay_before(attempts);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let ctx = StepContext::new(store.clone(), wave, step, name);
+        let result = match retry.timeout() {
+            None => attempt_inline(implementation, &ctx),
+            Some(limit) => attempt_with_watchdog(Arc::clone(implementation), ctx, limit),
+        };
+        match result {
+            Ok(elapsed) => {
+                return StepExecution {
+                    outcome: Ok(elapsed),
+                    attempts,
+                }
+            }
+            Err(source) => {
+                if attempts >= retry.max_attempts() {
+                    return StepExecution {
+                        outcome: Err(source),
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// One attempt on the calling thread. A panicking step becomes a
+/// [`StepError`] so it fails its wave through the normal retry/abort
+/// lifecycle instead of tearing down the scheduler.
+fn attempt_inline(
+    implementation: &Arc<dyn Step>,
+    ctx: &StepContext,
+) -> Result<Duration, StepError> {
+    // tidy:allow(time): measures step latency for ExecutionStats;
+    // reported, never replayed
+    let start = Instant::now();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| implementation.execute(ctx))) {
+        Ok(Ok(())) => Ok(start.elapsed()),
+        Ok(Err(source)) => Err(source),
+        Err(_) => Err(StepError::msg("step panicked")),
+    }
+}
+
+/// One attempt bounded by a wall-clock watchdog: the step runs on a
+/// spawned thread while this thread waits at most `limit` for its result.
+/// On timeout the attempt fails and the runaway execution is abandoned in
+/// the background (it keeps its own store clone) — which is why steps
+/// under a timeout should be idempotent per wave.
+fn attempt_with_watchdog(
+    implementation: Arc<dyn Step>,
+    ctx: StepContext,
+    limit: Duration,
+) -> Result<Duration, StepError> {
+    let (tx, rx) = unbounded();
+    std::thread::spawn(move || {
+        let _ = tx.send(attempt_inline(&implementation, &ctx));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(RecvTimeoutError::Timeout) => {
+            Err(StepError::msg(format!("step timed out after {limit:?}")))
+        }
+        Err(RecvTimeoutError::Disconnected) => Err(StepError::msg("step panicked")),
     }
 }
 
@@ -131,8 +228,13 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns [`WmsError::UnboundStep`] if any step lacks an implementation
-    /// and [`WmsError::StepFailed`] if a step returns an error; the wave is
-    /// aborted at the failing step.
+    /// and [`WmsError::StepFailed`] if a step errors after exhausting its
+    /// [`RetryPolicy`]. The wave aborts at the failing step, but the abort
+    /// is *clean*: the policy still receives `step_failed` and `end_wave`,
+    /// stats record the aborted wave, a terminal [`WaveAborted`] event is
+    /// published, and the next `run_wave` starts a fresh wave.
+    ///
+    /// [`WaveAborted`]: SchedulerEvent::WaveAborted
     pub fn run_wave(&mut self) -> Result<WaveOutcome, WmsError> {
         if let Some(id) = self.workflow.first_unbound() {
             return Err(WmsError::UnboundStep(
@@ -165,6 +267,7 @@ impl Scheduler {
                 self.stats.record_deferral(step);
                 self.note_deferred();
                 outcome.deferred.push(step);
+                self.policy.step_deferred(wave, step, &self.workflow);
                 self.events
                     .publish(&SchedulerEvent::StepDeferred { wave, step });
                 continue;
@@ -177,12 +280,6 @@ impl Scheduler {
             if trigger {
                 self.events
                     .publish(&SchedulerEvent::StepTriggered { wave, step });
-                let ctx = StepContext::new(
-                    self.store.clone(),
-                    wave,
-                    step,
-                    self.workflow.graph().step_name(step),
-                );
                 let implementation = self
                     .workflow
                     .info(step)
@@ -191,24 +288,31 @@ impl Scheduler {
                         WmsError::UnboundStep(self.workflow.graph().step_name(step).to_owned())
                     })?
                     .clone();
-                // tidy:allow(time): measures step latency for SchedulerStats;
-                // reported, never replayed
-                let start = Instant::now();
-                implementation
-                    .execute(&ctx)
-                    .map_err(|source| WmsError::StepFailed {
-                        step: self.workflow.graph().step_name(step).to_owned(),
-                        wave,
-                        source,
-                    })?;
-                let elapsed = start.elapsed();
-                self.stats.record_execution(step, elapsed);
-                self.note_executed(elapsed);
-                self.ever_executed[step.index()] = true;
-                outcome.executed.push(step);
-                self.policy.step_completed(wave, step, &self.workflow);
-                self.events
-                    .publish(&SchedulerEvent::StepCompleted { wave, step });
+                let retry = self.workflow.info(step).retry();
+                let name = self.workflow.graph().step_name(step).to_owned();
+                let exec =
+                    run_step_with_retry(&implementation, retry, &self.store, wave, step, &name);
+                self.publish_retries(wave, step, exec.attempts);
+                match exec.outcome {
+                    Ok(elapsed) => {
+                        self.stats.record_execution(step, elapsed);
+                        self.note_executed(elapsed);
+                        self.ever_executed[step.index()] = true;
+                        outcome.executed.push(step);
+                        self.policy.step_completed(wave, step, &self.workflow);
+                        self.events
+                            .publish(&SchedulerEvent::StepCompleted { wave, step });
+                    }
+                    Err(source) => {
+                        let failure = StepFailure {
+                            step,
+                            step_name: name,
+                            attempts: exec.attempts,
+                            source,
+                        };
+                        return Err(self.abort_wave(wave, &outcome, vec![failure]));
+                    }
+                }
             } else {
                 self.stats.record_skip(step);
                 self.note_skipped();
@@ -225,6 +329,7 @@ impl Scheduler {
             wave,
             executed: outcome.executed.len(),
             skipped: outcome.skipped.len(),
+            deferred: outcome.deferred.len(),
         });
         Ok(outcome)
     }
@@ -257,8 +362,11 @@ impl Scheduler {
     /// # Errors
     ///
     /// As [`run_wave`](Self::run_wave); if several steps of a level fail,
-    /// the error of the earliest step in topological order is returned and
-    /// the wave is aborted before later levels run.
+    /// *every* failure is recorded (stats, `StepFailed` events, policy
+    /// callbacks) and surfaced — one failure yields the familiar
+    /// [`WmsError::StepFailed`], several yield [`WmsError::WaveAborted`]
+    /// carrying them all. The wave aborts before later levels run, with
+    /// the same clean-abort guarantees as `run_wave`.
     pub fn run_wave_parallel(&mut self) -> Result<WaveOutcome, WmsError> {
         if let Some(id) = self.workflow.first_unbound() {
             return Err(WmsError::UnboundStep(
@@ -293,6 +401,7 @@ impl Scheduler {
                     self.stats.record_deferral(step);
                     self.note_deferred();
                     outcome.deferred.push(step);
+                    self.policy.step_deferred(wave, step, &self.workflow);
                     self.events
                         .publish(&SchedulerEvent::StepDeferred { wave, step });
                     continue;
@@ -327,43 +436,42 @@ impl Scheduler {
                     .clone();
                 implementations.push(implementation);
             }
-            let results: Vec<(StepId, Result<std::time::Duration, StepError>)> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = to_run
-                        .iter()
-                        .zip(&implementations)
-                        .map(|(&step, implementation)| {
-                            let ctx = StepContext::new(
-                                self.store.clone(),
-                                wave,
-                                step,
-                                self.workflow.graph().step_name(step),
-                            );
-                            scope.spawn(move || {
-                                // tidy:allow(time): measures step latency for
-                                // SchedulerStats; reported, never replayed
-                                let start = Instant::now();
-                                implementation.execute(&ctx).map(|()| start.elapsed())
-                            })
+            let results: Vec<(StepId, StepExecution)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = to_run
+                    .iter()
+                    .zip(&implementations)
+                    .map(|(&step, implementation)| {
+                        let name = self.workflow.graph().step_name(step);
+                        let retry = self.workflow.info(step).retry();
+                        let store = &self.store;
+                        scope.spawn(move || {
+                            run_step_with_retry(implementation, retry, store, wave, step, name)
                         })
-                        .collect();
-                    to_run
-                        .iter()
-                        .zip(handles)
-                        .map(|(&step, h)| {
-                            // A panicking step must fail its wave, not tear
-                            // down the scheduler thread.
-                            let result = h
-                                .join()
-                                .unwrap_or_else(|_| Err(StepError::msg("step panicked")));
-                            (step, result)
-                        })
-                        .collect()
-                });
+                    })
+                    .collect();
+                to_run
+                    .iter()
+                    .zip(handles)
+                    .map(|(&step, h)| {
+                        // `run_step_with_retry` catches step panics itself;
+                        // this guards the worker harness, not the step.
+                        let exec = h.join().unwrap_or_else(|_| StepExecution {
+                            outcome: Err(StepError::msg("step panicked")),
+                            attempts: 1,
+                        });
+                        (step, exec)
+                    })
+                    .collect()
+            });
 
-            let mut first_error: Option<WmsError> = None;
-            for (step, result) in results {
-                match result {
+            // Process results in topological order so adaptive policies and
+            // event subscribers observe the same per-step sequence as the
+            // sequential scheduler. Every failure is kept: the parallel
+            // path must not drop sibling failures of a level.
+            let mut failures: Vec<StepFailure> = Vec::new();
+            for (step, exec) in results {
+                self.publish_retries(wave, step, exec.attempts);
+                match exec.outcome {
                     Ok(elapsed) => {
                         self.stats.record_execution(step, elapsed);
                         self.note_executed(elapsed);
@@ -374,18 +482,17 @@ impl Scheduler {
                             .publish(&SchedulerEvent::StepCompleted { wave, step });
                     }
                     Err(source) => {
-                        if first_error.is_none() {
-                            first_error = Some(WmsError::StepFailed {
-                                step: self.workflow.graph().step_name(step).to_owned(),
-                                wave,
-                                source,
-                            });
-                        }
+                        failures.push(StepFailure {
+                            step,
+                            step_name: self.workflow.graph().step_name(step).to_owned(),
+                            attempts: exec.attempts,
+                            source,
+                        });
                     }
                 }
             }
-            if let Some(err) = first_error {
-                return Err(err);
+            if !failures.is_empty() {
+                return Err(self.abort_wave(wave, &outcome, failures));
             }
         }
 
@@ -395,8 +502,62 @@ impl Scheduler {
             wave,
             executed: outcome.executed.len(),
             skipped: outcome.skipped.len(),
+            deferred: outcome.deferred.len(),
         });
         Ok(outcome)
+    }
+
+    /// Completes a wave that cannot finish: records every failure, keeps
+    /// the policy lifecycle balanced (`step_failed` then `end_wave`),
+    /// counts the aborted wave, and publishes the terminal
+    /// [`WaveAborted`](SchedulerEvent::WaveAborted) event. The scheduler
+    /// is left consistent — the next `run_wave` starts a clean wave.
+    fn abort_wave(
+        &mut self,
+        wave: WaveId,
+        outcome: &WaveOutcome,
+        failures: Vec<StepFailure>,
+    ) -> WmsError {
+        for failure in &failures {
+            self.stats.record_failure(failure.step);
+            self.note_failed();
+            self.policy.step_failed(wave, failure.step, &self.workflow);
+            self.events.publish(&SchedulerEvent::StepFailed {
+                wave,
+                step: failure.step,
+                attempts: failure.attempts,
+            });
+        }
+        self.policy.end_wave(wave, &self.workflow);
+        self.stats.record_aborted_wave();
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::WAVES_ABORTED).incr();
+        }
+        self.events.publish(&SchedulerEvent::WaveAborted {
+            wave,
+            executed: outcome.executed.len(),
+            skipped: outcome.skipped.len(),
+            deferred: outcome.deferred.len(),
+            failed: failures.iter().map(|f| f.step).collect(),
+        });
+        WmsError::from_failures(wave, failures)
+    }
+
+    /// Publishes `StepRetried` events for attempts 2..=`attempts` and
+    /// records the consumed retries in stats and telemetry.
+    fn publish_retries(&mut self, wave: WaveId, step: StepId, attempts: u32) {
+        for attempt in 2..=attempts {
+            self.events.publish(&SchedulerEvent::StepRetried {
+                wave,
+                step,
+                attempt,
+            });
+        }
+        if attempts > 1 {
+            let retries = u64::from(attempts - 1);
+            self.stats.record_retries(step, retries);
+            self.note_retried(retries);
+        }
     }
 
     fn note_executed(&self, elapsed: std::time::Duration) {
@@ -417,6 +578,18 @@ impl Scheduler {
     fn note_deferred(&self) {
         if self.telemetry.is_enabled() {
             self.telemetry.counter(names::STEPS_DEFERRED).incr();
+        }
+    }
+
+    fn note_retried(&self, retries: u64) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::STEP_RETRIES).add(retries);
+        }
+    }
+
+    fn note_failed(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::STEPS_FAILED).incr();
         }
     }
 
@@ -568,8 +741,78 @@ mod tests {
         )
         .source();
         let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let sub = s.subscribe();
         let err = s.run_wave().unwrap_err();
         assert!(err.to_string().contains("boom"));
+
+        // The abort is clean: terminal event published, stats recorded,
+        // and the next wave starts fresh.
+        let events = sub.drain();
+        assert!(matches!(
+            events.last(),
+            Some(SchedulerEvent::WaveAborted { wave: 1, .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedulerEvent::StepFailed { attempts: 1, .. })));
+        assert_eq!(s.stats().waves(), 0);
+        assert_eq!(s.stats().waves_aborted(), 1);
+        assert_eq!(s.stats().failures(a), 1);
+        assert_eq!(s.next_wave(), 2);
+    }
+
+    #[test]
+    fn retry_recovers_transient_failure() {
+        use crate::faults::{FaultSchedule, FaultyStep};
+        use crate::retry::RetryPolicy;
+
+        let store = DataStore::new();
+        store
+            .ensure_container(&ContainerRef::family("t", "f"))
+            .unwrap();
+        let mut b = GraphBuilder::new("w");
+        let a = b.add_step("a");
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(
+            a,
+            FaultyStep::new(
+                counter_step("t", "a"),
+                FaultSchedule::FailNThenSucceed { failures: 1 },
+            ),
+        )
+        .source()
+        .retry(RetryPolicy::attempts(2));
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let sub = s.subscribe();
+        let o = s.run_wave().unwrap();
+        assert!(o.did_execute(a));
+        assert_eq!(s.stats().retries(a), 1);
+        assert_eq!(s.stats().failures(a), 0);
+        assert!(sub
+            .drain()
+            .iter()
+            .any(|e| matches!(e, SchedulerEvent::StepRetried { attempt: 2, .. })));
+    }
+
+    #[test]
+    fn panicking_step_fails_cleanly_in_sequential_wave() {
+        let store = DataStore::new();
+        let mut b = GraphBuilder::new("w");
+        let a = b.add_step("a");
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(
+            a,
+            FnStep::new(|_: &StepContext| -> Result<(), StepError> { panic!("kaboom") }),
+        )
+        .source();
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let sub = s.subscribe();
+        let err = s.run_wave().unwrap_err();
+        assert!(err.to_string().contains("panicked"));
+        assert!(matches!(
+            sub.drain().last(),
+            Some(SchedulerEvent::WaveAborted { .. })
+        ));
     }
 
     #[test]
@@ -698,6 +941,42 @@ mod tests {
         let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
         let err = s.run_wave_parallel().unwrap_err();
         assert!(err.to_string().contains("parallel boom"));
+    }
+
+    #[test]
+    fn parallel_wave_keeps_every_sibling_failure() {
+        // Two independent sources fail in the same level: both must be
+        // recorded and surfaced, not just the first.
+        let store = DataStore::new();
+        let mut b = GraphBuilder::new("boom2");
+        let a = b.add_step("a");
+        let c = b.add_step("c");
+        let mut w = Workflow::new(b.build().unwrap());
+        w.bind(
+            a,
+            FnStep::new(|_: &StepContext| Err(StepError::msg("a broke"))),
+        )
+        .source();
+        w.bind(
+            c,
+            FnStep::new(|_: &StepContext| Err(StepError::msg("c broke"))),
+        )
+        .source();
+        let mut s = Scheduler::new(w, store, Box::new(SynchronousPolicy));
+        let sub = s.subscribe();
+        let err = s.run_wave_parallel().unwrap_err();
+        assert_eq!(err.failure_count(), 2);
+        let text = err.to_string();
+        assert!(text.contains("a broke") && text.contains("c broke"));
+        assert_eq!(s.stats().failures(a), 1);
+        assert_eq!(s.stats().failures(c), 1);
+        let events = sub.drain();
+        match events.last() {
+            Some(SchedulerEvent::WaveAborted { failed, .. }) => {
+                assert_eq!(failed.as_slice(), &[a, c]);
+            }
+            other => panic!("expected WaveAborted, got {other:?}"),
+        }
     }
 
     #[test]

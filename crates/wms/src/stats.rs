@@ -9,6 +9,8 @@ struct StepStats {
     executed: u64,
     skipped: u64,
     deferred: u64,
+    failed: u64,
+    retried: u64,
     busy: Duration,
 }
 
@@ -21,6 +23,7 @@ struct StepStats {
 pub struct ExecutionStats {
     steps: Vec<StepStats>,
     waves: u64,
+    waves_aborted: u64,
 }
 
 impl ExecutionStats {
@@ -30,6 +33,7 @@ impl ExecutionStats {
         Self {
             steps: vec![StepStats::default(); step_count],
             waves: 0,
+            waves_aborted: 0,
         }
     }
 
@@ -47,14 +51,32 @@ impl ExecutionStats {
         self.steps[step.index()].deferred += 1;
     }
 
+    pub(crate) fn record_failure(&mut self, step: StepId) {
+        self.steps[step.index()].failed += 1;
+    }
+
+    pub(crate) fn record_retries(&mut self, step: StepId, retries: u64) {
+        self.steps[step.index()].retried += retries;
+    }
+
     pub(crate) fn record_wave(&mut self) {
         self.waves += 1;
     }
 
-    /// Number of waves processed.
+    pub(crate) fn record_aborted_wave(&mut self) {
+        self.waves_aborted += 1;
+    }
+
+    /// Number of waves completed successfully (aborted waves not included).
     #[must_use]
     pub fn waves(&self) -> u64 {
         self.waves
+    }
+
+    /// Number of waves that aborted on an unrecoverable step failure.
+    #[must_use]
+    pub fn waves_aborted(&self) -> u64 {
+        self.waves_aborted
     }
 
     /// Number of times `step` executed.
@@ -76,6 +98,19 @@ impl ExecutionStats {
         self.steps[step.index()].deferred
     }
 
+    /// Number of times `step` failed unrecoverably (retry budget spent).
+    #[must_use]
+    pub fn failures(&self, step: StepId) -> u64 {
+        self.steps[step.index()].failed
+    }
+
+    /// Number of retry attempts `step` consumed (successful first attempts
+    /// count zero; a fail-twice-then-succeed wave counts two).
+    #[must_use]
+    pub fn retries(&self, step: StepId) -> u64 {
+        self.steps[step.index()].retried
+    }
+
     /// Total busy time accumulated by `step`.
     #[must_use]
     pub fn busy_time(&self, step: StepId) -> Duration {
@@ -92,6 +127,18 @@ impl ExecutionStats {
     #[must_use]
     pub fn total_skips(&self) -> u64 {
         self.steps.iter().map(|s| s.skipped).sum()
+    }
+
+    /// Total unrecoverable step failures across all steps.
+    #[must_use]
+    pub fn total_failures(&self) -> u64 {
+        self.steps.iter().map(|s| s.failed).sum()
+    }
+
+    /// Total retry attempts across all steps.
+    #[must_use]
+    pub fn total_retries(&self) -> u64 {
+        self.steps.iter().map(|s| s.retried).sum()
     }
 
     /// Executions divided by (executions + skips): the paper's *normalised
@@ -130,6 +177,25 @@ mod tests {
         assert_eq!(st.waves(), 1);
         assert_eq!(st.total_executions(), 2);
         assert_eq!(st.busy_time(a), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn failure_and_retry_counting() {
+        let mut st = ExecutionStats::new(2);
+        let a = StepId(0);
+        st.record_retries(a, 2);
+        st.record_execution(a, Duration::ZERO);
+        st.record_failure(a);
+        st.record_aborted_wave();
+        st.record_wave();
+
+        assert_eq!(st.retries(a), 2);
+        assert_eq!(st.failures(a), 1);
+        assert_eq!(st.total_retries(), 2);
+        assert_eq!(st.total_failures(), 1);
+        assert_eq!(st.waves(), 1);
+        assert_eq!(st.waves_aborted(), 1);
+        assert_eq!(st.failures(StepId(1)), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use smartflux_datastore::ContainerRef;
 
 use crate::graph::{StepId, WorkflowGraph};
+use crate::retry::RetryPolicy;
 use crate::step::Step;
 
 /// Everything a scheduler or middleware needs to know about one step:
@@ -22,6 +23,7 @@ pub struct StepInfo {
     outputs: Vec<ContainerRef>,
     always_run: bool,
     error_bound: Option<f64>,
+    retry: RetryPolicy,
 }
 
 impl StepInfo {
@@ -32,6 +34,7 @@ impl StepInfo {
             outputs: Vec::new(),
             always_run: false,
             error_bound: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -68,6 +71,13 @@ impl StepInfo {
     pub fn error_bound(&self) -> Option<f64> {
         self.error_bound
     }
+
+    /// How the scheduler retries this step on failure. Defaults to
+    /// [`RetryPolicy::none`] — one attempt, fail the wave on error.
+    #[must_use]
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
 }
 
 impl fmt::Debug for StepInfo {
@@ -78,6 +88,7 @@ impl fmt::Debug for StepInfo {
             .field("outputs", &self.outputs)
             .field("always_run", &self.always_run)
             .field("error_bound", &self.error_bound)
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -194,6 +205,12 @@ impl StepBindingBuilder<'_> {
         self.info.error_bound = Some(bound);
         self
     }
+
+    /// Sets the retry policy the scheduler applies when this step fails.
+    pub fn retry(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.info.retry = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +244,7 @@ mod tests {
             .error_bound(0.1);
 
         assert!(w.info(a).always_run());
+        assert_eq!(w.info(a).retry(), RetryPolicy::none());
         assert_eq!(w.info(c).inputs(), &[input]);
         assert_eq!(w.info(c).outputs(), &[output]);
         assert_eq!(w.info(c).error_bound(), Some(0.1));
@@ -240,6 +258,17 @@ mod tests {
         let mut w = Workflow::new(g);
         w.bind(a, noop());
         assert_eq!(w.first_unbound(), Some(c));
+    }
+
+    #[test]
+    fn retry_policy_is_carried() {
+        let (g, a, c) = two_step();
+        let mut w = Workflow::new(g);
+        let policy = RetryPolicy::fixed(3, std::time::Duration::from_millis(1));
+        w.bind(a, noop()).retry(policy);
+        w.bind(c, noop());
+        assert_eq!(w.info(a).retry(), policy);
+        assert_eq!(w.info(c).retry(), RetryPolicy::none());
     }
 
     #[test]

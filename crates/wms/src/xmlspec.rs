@@ -18,13 +18,17 @@
 //!     <reads table="fire" family="sensors"/>
 //!     <writes table="fire" family="areas"/>
 //!     <qod error-bound="0.05"/>
+//!     <retry max-attempts="3" backoff="exponential" delay-ms="10" cap-ms="100"/>
 //!   </action>
 //!   <flow from="map-update" to="calculate-areas"/>
 //! </workflow>
 //! ```
 //!
 //! `<reads>`/`<writes>` accept an optional `qualifier` attribute to address
-//! a single column instead of a whole family.
+//! a single column instead of a whole family. `<retry>` configures the
+//! step's [`RetryPolicy`]: `backoff` is `none` (default), `fixed`
+//! (requires `delay-ms`), or `exponential` (requires `delay-ms` and
+//! `cap-ms`); an optional `timeout-ms` adds a per-attempt watchdog.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -35,6 +39,7 @@ use smartflux_datastore::ContainerRef;
 
 use crate::error::GraphError;
 use crate::graph::GraphBuilder;
+use crate::retry::RetryPolicy;
 use crate::step::Step;
 use crate::workflow::Workflow;
 
@@ -119,6 +124,8 @@ pub struct ActionSpec {
     pub writes: Vec<ContainerRef>,
     /// The QoD error bound, if the action tolerates error.
     pub error_bound: Option<f64>,
+    /// The retry policy, if the action declared one.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// A parsed workflow specification.
@@ -179,6 +186,7 @@ impl WorkflowSpec {
         let mut reads = Vec::new();
         let mut writes = Vec::new();
         let mut error_bound = None;
+        let mut retry = None;
         for child in &el.children {
             match child.name.as_str() {
                 "reads" | "writes" => {
@@ -210,6 +218,7 @@ impl WorkflowSpec {
                     }
                     error_bound = Some(bound);
                 }
+                "retry" => retry = Some(Self::parse_retry(child)?),
                 other => {
                     return Err(SpecError::Xml(format!(
                         "unexpected element <{other}> inside <action>"
@@ -223,7 +232,51 @@ impl WorkflowSpec {
             reads,
             writes,
             error_bound,
+            retry,
         })
+    }
+
+    fn parse_retry(el: &Element) -> Result<RetryPolicy, SpecError> {
+        use std::time::Duration;
+
+        let raw_attempts = el.require_attr("max-attempts")?;
+        let attempts: u32 = num_attr("retry", "max-attempts", &raw_attempts)?;
+        if attempts == 0 {
+            return Err(SpecError::BadAttribute {
+                element: "retry".into(),
+                attribute: "max-attempts".into(),
+                value: raw_attempts,
+            });
+        }
+        let backoff = el.attrs.get("backoff").map_or("none", String::as_str);
+        let mut policy = match backoff {
+            "none" => RetryPolicy::attempts(attempts),
+            "fixed" => {
+                let delay: u64 = num_attr("retry", "delay-ms", &el.require_attr("delay-ms")?)?;
+                RetryPolicy::fixed(attempts, Duration::from_millis(delay))
+            }
+            "exponential" => {
+                let base: u64 = num_attr("retry", "delay-ms", &el.require_attr("delay-ms")?)?;
+                let cap: u64 = num_attr("retry", "cap-ms", &el.require_attr("cap-ms")?)?;
+                RetryPolicy::exponential(
+                    attempts,
+                    Duration::from_millis(base),
+                    Duration::from_millis(cap),
+                )
+            }
+            other => {
+                return Err(SpecError::BadAttribute {
+                    element: "retry".into(),
+                    attribute: "backoff".into(),
+                    value: other.to_owned(),
+                })
+            }
+        };
+        if let Some(raw) = el.attrs.get("timeout-ms") {
+            let ms: u64 = num_attr("retry", "timeout-ms", raw)?;
+            policy = policy.with_timeout(Duration::from_millis(ms));
+        }
+        Ok(policy)
     }
 
     /// Instantiates a [`Workflow`]: `resolve` supplies the implementation
@@ -272,9 +325,26 @@ impl WorkflowSpec {
             if let Some(bound) = action.error_bound {
                 binding.error_bound(bound);
             }
+            if let Some(retry) = action.retry {
+                binding.retry(retry);
+            }
         }
         Ok(workflow)
     }
+}
+
+/// Parses a numeric attribute value, mapping failures to
+/// [`SpecError::BadAttribute`].
+fn num_attr<T: std::str::FromStr>(
+    element: &str,
+    attribute: &str,
+    raw: &str,
+) -> Result<T, SpecError> {
+    raw.parse().map_err(|_| SpecError::BadAttribute {
+        element: element.to_owned(),
+        attribute: attribute.to_owned(),
+        value: raw.to_owned(),
+    })
 }
 
 /// Adapter so resolved `Arc<dyn Step>` implementations satisfy `Step`.
@@ -484,6 +554,7 @@ mod tests {
             <reads table="fire" family="sensors"/>
             <writes table="fire" family="areas" qualifier="temp"/>
             <qod error-bound="0.05"/>
+            <retry max-attempts="3" backoff="exponential" delay-ms="10" cap-ms="100" timeout-ms="500"/>
           </action>
           <flow from="map-update" to="calculate-areas"/>
         </workflow>
@@ -512,6 +583,49 @@ mod tests {
             vec![ContainerRef::column("fire", "areas", "temp")]
         );
         assert_eq!(areas.error_bound, Some(0.05));
+        assert_eq!(spec.actions[0].retry, None);
+        let expected = RetryPolicy::exponential(
+            3,
+            std::time::Duration::from_millis(10),
+            std::time::Duration::from_millis(100),
+        )
+        .with_timeout(std::time::Duration::from_millis(500));
+        assert_eq!(areas.retry, Some(expected));
+    }
+
+    #[test]
+    fn retry_variants_and_bad_attrs() {
+        let parse_one = |retry_el: &str| {
+            let xml =
+                format!("<workflow name=\"w\"><action name=\"a\">{retry_el}</action></workflow>");
+            WorkflowSpec::parse(&xml).map(|s| s.actions[0].retry)
+        };
+        assert_eq!(
+            parse_one(r#"<retry max-attempts="2"/>"#).unwrap(),
+            Some(RetryPolicy::attempts(2))
+        );
+        assert_eq!(
+            parse_one(r#"<retry max-attempts="4" backoff="fixed" delay-ms="25"/>"#).unwrap(),
+            Some(RetryPolicy::fixed(4, std::time::Duration::from_millis(25)))
+        );
+        // Zero attempts, unknown backoff, non-numeric delay, and a fixed
+        // backoff missing its delay are all rejected.
+        assert!(matches!(
+            parse_one(r#"<retry max-attempts="0"/>"#),
+            Err(SpecError::BadAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_one(r#"<retry max-attempts="2" backoff="warp"/>"#),
+            Err(SpecError::BadAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_one(r#"<retry max-attempts="2" backoff="fixed" delay-ms="soon"/>"#),
+            Err(SpecError::BadAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_one(r#"<retry max-attempts="2" backoff="fixed"/>"#),
+            Err(SpecError::MissingAttribute { .. })
+        ));
     }
 
     #[test]
@@ -529,6 +643,7 @@ mod tests {
         assert_eq!(wf.graph().len(), 2);
         let areas = wf.graph().step_id("calculate-areas").unwrap();
         assert_eq!(wf.info(areas).error_bound(), Some(0.05));
+        assert_eq!(wf.info(areas).retry().max_attempts(), 3);
         assert!(wf
             .info(wf.graph().step_id("map-update").unwrap())
             .always_run());

@@ -71,7 +71,8 @@ fn events_arrive_in_execution_order() {
             SchedulerEvent::WaveCompleted {
                 wave: 1,
                 executed: 2,
-                skipped: 0
+                skipped: 0,
+                deferred: 0
             },
         ]
     );

@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release -p smartflux-bench --bin diagnose [bound]`
 //!
 //! Pass `--json` for machine-readable output: one JSON object per workload
-//! per line, carrying the run summary, the model quality, the full
+//! per line, carrying the run summary, the model quality, a `durability`
+//! block (WAL bytes/records, checkpoints and recoveries observed while the
+//! run journals through a write-ahead log in a scratch directory), the full
 //! telemetry snapshot (counters + latency histograms) and — with
 //! `--journal <dir>` — the path of the wave-decision journal written for
 //! the run.
@@ -16,6 +18,7 @@
 use std::path::PathBuf;
 
 use smartflux::eval::EvalPolicy;
+use smartflux::{DurabilityOptions, SyncPolicy};
 use smartflux_bench::{pct, Workload};
 use smartflux_telemetry::{json_string, names};
 
@@ -65,7 +68,18 @@ fn run_json(args: &Args) {
     for wl in [Workload::Lrb, Workload::Aqhi] {
         let oracle = wl.evaluate_policy(args.bound, EvalPolicy::Oracle, wl.application_waves());
 
-        let mut config = wl.engine_config(args.bound).with_telemetry(true);
+        // Journal the run through a scratch WAL so the JSON carries real
+        // durability figures (overhead, checkpoint cadence) per workload.
+        let wal_dir = std::env::temp_dir().join(format!(
+            "smartflux-diagnose-wal-{}-{}",
+            wl.id(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let mut config = wl
+            .engine_config(args.bound)
+            .with_telemetry(true)
+            .with_durability(DurabilityOptions::new(&wal_dir).with_sync(SyncPolicy::Never));
         if let Some(dir) = &args.journal_dir {
             config = config.with_journal_path(dir.join(format!("{}-journal.jsonl", wl.id())));
         }
@@ -100,10 +114,17 @@ fn run_json(args: &Args) {
             snapshot.counter(names::STEPS_FAILED),
             snapshot.counter(names::SDF_FALLBACKS),
         );
+        let durability_json = format!(
+            "{{\"wal_bytes\":{},\"wal_records\":{},\"checkpoints\":{},\"recoveries\":{}}}",
+            snapshot.counter(names::WAL_BYTES),
+            snapshot.counter(names::WAL_RECORDS),
+            snapshot.counter(names::CHECKPOINTS),
+            snapshot.counter(names::RECOVERIES),
+        );
         println!(
             "{{\"workload\":{},\"bound\":{},\"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
              \"smartflux\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
-             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"telemetry\":{}}}",
+             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"durability\":{},\"telemetry\":{}}}",
             json_string(wl.id()),
             args.bound,
             oracle.normalized_executions(),
@@ -115,8 +136,10 @@ fn run_json(args: &Args) {
             quality_json,
             journal_json,
             fault_json,
+            durability_json,
             snapshot.to_json(),
         );
+        let _ = std::fs::remove_dir_all(&wal_dir);
     }
 }
 

@@ -1,0 +1,5 @@
+//! WAL-overhead micro-bench: durability cost per wave on LRB.
+
+fn main() {
+    smartflux_bench::exp::wal_overhead::run();
+}

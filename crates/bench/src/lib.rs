@@ -270,4 +270,5 @@ pub mod exp {
     pub mod motivating;
     pub mod overhead;
     pub mod roc;
+    pub mod wal_overhead;
 }

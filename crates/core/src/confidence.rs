@@ -69,6 +69,20 @@ impl ConfidenceTracker {
     pub fn series(&self) -> &[f64] {
         &self.series
     }
+
+    /// Decomposes the tracker for checkpoint serialization.
+    pub(crate) fn to_parts(&self) -> (u64, u64, &[f64]) {
+        (self.compliant, self.total, &self.series)
+    }
+
+    /// Rebuilds a tracker from its checkpointed parts.
+    pub(crate) fn from_parts(compliant: u64, total: u64, series: Vec<f64>) -> Self {
+        Self {
+            compliant,
+            total,
+            series,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+use smartflux_durability::DurabilityOptions;
+
 use crate::knowledge::KnowledgeBase;
 use crate::predictor::ModelKind;
 use crate::qod::QodSpec;
@@ -65,6 +67,14 @@ pub struct EngineConfig {
     ///
     /// [`WaveDecisionRecord`]: smartflux_telemetry::WaveDecisionRecord
     pub journal_path: Option<PathBuf>,
+    /// When set, the session write-ahead-logs every store mutation,
+    /// group-commits at wave boundaries, checkpoints store + engine state
+    /// at the configured interval, and can resume after a crash via
+    /// [`SmartFluxSession::recover`]. `None` (the default) disables
+    /// durability entirely.
+    ///
+    /// [`SmartFluxSession::recover`]: crate::SmartFluxSession::recover
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +93,7 @@ impl Default for EngineConfig {
             retraining_interval: None,
             telemetry_enabled: false,
             journal_path: None,
+            durability: None,
         }
     }
 }
@@ -195,6 +206,15 @@ impl EngineConfig {
     pub fn with_journal_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.telemetry_enabled = true;
         self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Enables the durability subsystem: WAL commits at every wave
+    /// boundary plus periodic checkpoints of store and engine state, as
+    /// configured by `options`.
+    #[must_use]
+    pub fn with_durability(mut self, options: DurabilityOptions) -> Self {
+        self.durability = Some(options);
         self
     }
 }

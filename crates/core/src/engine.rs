@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use smartflux_datastore::{ContainerRef, DataStore, Snapshot};
+use smartflux_durability::{codec, read_checkpoint, DurabilityError, DurabilityManager};
 use smartflux_telemetry::{names, Telemetry, WaveDecisionRecord};
 use smartflux_wms::{StepId, TriggerPolicy, Workflow};
 
@@ -151,6 +152,13 @@ pub struct QodEngine {
     /// Steps the scheduler deferred this wave (workflow-wide), carried into
     /// the journal records.
     deferred_this_wave: u64,
+    /// The durability manager, when [`EngineConfig::durability`] is set:
+    /// WAL group-commit at every wave boundary plus periodic checkpoints
+    /// of store and engine state.
+    durability: Option<DurabilityManager>,
+    /// A WAL/checkpoint failure raised inside `end_wave` (which cannot
+    /// return errors); surfaced by the session on the next wave call.
+    durability_error: Option<DurabilityError>,
 }
 
 impl QodEngine {
@@ -235,6 +243,19 @@ impl QodEngine {
         }
         monitor.attach(&store);
 
+        let durability = match &config.durability {
+            Some(options) => {
+                let manager =
+                    DurabilityManager::open(options.clone()).map_err(CoreError::Durability)?;
+                // The returned handle is only needed for explicit
+                // unregistration; the observer stays registered for the
+                // store's lifetime.
+                let _handle = manager.attach(&store);
+                Some(manager)
+            }
+            None => None,
+        };
+
         let step_names: Vec<String> = steps.iter().map(|s| s.name.clone()).collect();
         let mut predictor = Predictor::new(config.model.clone(), config.seed);
         let n = steps.len();
@@ -281,7 +302,61 @@ impl QodEngine {
             sdf_fallback: vec![false; n],
             failed_this_wave: false,
             deferred_this_wave: 0,
+            durability,
+            durability_error: None,
         })
+    }
+
+    /// Restores an engine (and its data store) from the latest durability
+    /// checkpoint under [`EngineConfig::durability`].
+    ///
+    /// Recovery is **checkpoint-anchored**: the store and the full engine
+    /// state (phase, knowledge base, predictor, impact trackers,
+    /// confidence series) are restored exactly as they were at the end of
+    /// the checkpointed wave `c`, and the returned next wave is `c + 1`.
+    /// Waves after `c` that ran before the crash re-execute — the WAL tail
+    /// covering them is truncated so they re-commit cleanly — and, because
+    /// every engine input is deterministic, re-produce the decisions of
+    /// the uninterrupted run.
+    ///
+    /// Returns the engine, the recovered store, and the wave to resume at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] when no durability directory is
+    /// configured, no checkpoint exists, or the checkpoint fails
+    /// validation; shape errors if `workflow` does not match the
+    /// checkpointed workflow.
+    pub fn recover(
+        workflow: &Workflow,
+        mut config: EngineConfig,
+    ) -> Result<(Self, DataStore, u64), CoreError> {
+        let options = config
+            .durability
+            .clone()
+            .ok_or(CoreError::Durability(DurabilityError::NotConfigured))?;
+        let checkpoint = read_checkpoint(options.dir())
+            .map_err(CoreError::Durability)?
+            .ok_or_else(|| {
+                CoreError::Durability(DurabilityError::NoCheckpoint(options.dir().to_path_buf()))
+            })?;
+        let store = DataStore::from_state(checkpoint.store).map_err(CoreError::Store)?;
+        // Any supplied initial knowledge would train a model that the
+        // checkpointed predictor state immediately replaces; skip it.
+        config.initial_knowledge = None;
+        let mut engine = Self::from_workflow(workflow, store.clone(), config)?;
+        engine.apply_state(&checkpoint.engine)?;
+        if let Some(manager) = &engine.durability {
+            // The WAL tail past the checkpoint describes waves that will
+            // re-execute and re-commit; a stale copy must not survive.
+            manager.reset_wal().map_err(CoreError::Durability)?;
+        }
+        Ok((engine, store, checkpoint.wave + 1))
+    }
+
+    /// Takes (and clears) a durability error raised during `end_wave`.
+    pub fn take_durability_error(&mut self) -> Option<DurabilityError> {
+        self.durability_error.take()
     }
 
     /// The engine's current phase.
@@ -328,9 +403,13 @@ impl QodEngine {
     }
 
     /// Attaches a telemetry handle; the engine then feeds the impact /
-    /// predict / train latency histograms and emits one
-    /// [`WaveDecisionRecord`] per wave per QoD step to the journal.
+    /// predict / train latency histograms, the durability counters, and
+    /// emits one [`WaveDecisionRecord`] per wave per QoD step to the
+    /// journal.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(manager) = &mut self.durability {
+            manager.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -623,6 +702,377 @@ impl QodEngine {
             }
         }
     }
+
+    /// Wave-boundary durability point: group-commits the wave's buffered
+    /// store mutations to the WAL and, on the configured interval,
+    /// checkpoints store plus engine state (compacting the WAL prefix the
+    /// checkpoint covers). A failure is remembered for the session to
+    /// surface — `end_wave` itself cannot return one.
+    fn durability_commit(&mut self, wave: u64) {
+        let result = match &self.durability {
+            None => return,
+            Some(manager) => manager
+                .commit_wave(wave, self.store.clock())
+                .and_then(|()| {
+                    if wave > 0 && wave.is_multiple_of(manager.options().checkpoint_interval()) {
+                        manager.checkpoint(wave, &self.store, self.encode_state())
+                    } else {
+                        Ok(())
+                    }
+                }),
+        };
+        if let Err(e) = result {
+            self.durability_error = Some(e);
+        }
+    }
+
+    /// Serialises the engine's full decision state into the versioned
+    /// binary form embedded in checkpoints. Everything that influences a
+    /// future wave decision is captured: phase, knowledge base, predictor
+    /// models (or a deterministic-retrain marker), quality flags, impact
+    /// and error trackers with their snapshots, confidence series, SDF
+    /// fallbacks, and the monitor's cumulative write counts. Per-wave
+    /// diagnostics are reporting-only and deliberately excluded.
+    fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SFES");
+        codec::put_u16(&mut out, 1); // engine-state format version
+
+        match self.phase {
+            Phase::Training { until_wave } => {
+                codec::put_u8(&mut out, 0);
+                codec::put_u64(&mut out, until_wave);
+            }
+            Phase::Application => codec::put_u8(&mut out, 1),
+        }
+
+        let n = self.steps.len();
+        codec::put_u32(&mut out, n as u32);
+
+        // Knowledge base: step names then rows.
+        for name in self.kb.step_names() {
+            codec::put_str(&mut out, name);
+        }
+        codec::put_u32(&mut out, self.kb.len() as u32);
+        for row in self.kb.rows() {
+            codec::put_u64(&mut out, row.wave);
+            for v in &row.impacts {
+                codec::put_f64(&mut out, *v);
+            }
+            for b in &row.must_execute {
+                codec::put_u8(&mut out, u8::from(*b));
+            }
+        }
+
+        // Predictor: exact model blobs when the kind has a binary codec,
+        // otherwise a marker telling recovery to retrain deterministically
+        // from the knowledge base restored above.
+        match self.predictor.export_models() {
+            Some(blobs) => {
+                codec::put_u8(&mut out, 1);
+                codec::put_u32(&mut out, blobs.len() as u32);
+                for blob in &blobs {
+                    codec::put_bytes(&mut out, blob);
+                }
+            }
+            None if self.predictor.is_trained() => codec::put_u8(&mut out, 2),
+            None => codec::put_u8(&mut out, 0),
+        }
+        match self.predictor.quality() {
+            Some(q) => {
+                codec::put_u8(&mut out, 1);
+                codec::put_f64(&mut out, q.accuracy);
+                codec::put_f64(&mut out, q.precision);
+                codec::put_f64(&mut out, q.recall);
+            }
+            None => codec::put_u8(&mut out, 0),
+        }
+
+        codec::put_u8(&mut out, u8::from(self.quality_met));
+        codec::put_u64(&mut out, self.training_extensions_used as u64);
+        codec::put_u64(&mut out, self.application_waves_since_training);
+        for v in &self.current_impacts {
+            codec::put_f64(&mut out, *v);
+        }
+        for d in &self.current_decisions {
+            codec::put_u8(&mut out, u8::from(*d));
+        }
+        for s in &self.sdf_fallback {
+            codec::put_u8(&mut out, u8::from(*s));
+        }
+        for tracker in &self.confidence {
+            let (compliant, total, series) = tracker.to_parts();
+            codec::put_u64(&mut out, compliant);
+            codec::put_u64(&mut out, total);
+            codec::put_u32(&mut out, series.len() as u32);
+            for v in series {
+                codec::put_f64(&mut out, *v);
+            }
+        }
+
+        let totals = self.monitor.total_write_counts();
+        codec::put_u32(&mut out, totals.len() as u32);
+        for t in &totals {
+            codec::put_u64(&mut out, *t);
+        }
+
+        for step in &self.steps {
+            codec::put_u32(&mut out, step.inputs.len() as u32);
+            for tracker in &step.inputs {
+                encode_snapshot(&mut out, &tracker.baseline);
+                encode_snapshot(&mut out, &tracker.prev_wave);
+                codec::put_f64(&mut out, tracker.accumulated);
+            }
+            codec::put_u32(&mut out, step.outputs.len() as u32);
+            for tracker in &step.outputs {
+                encode_snapshot(&mut out, &tracker.baseline);
+                encode_snapshot(&mut out, &tracker.prev_wave);
+                codec::put_f64(&mut out, tracker.accumulated);
+            }
+        }
+        out
+    }
+
+    /// Restores the engine from a checkpointed [`encode_state`] blob. The
+    /// engine must have been freshly built over the same workflow (same
+    /// QoD steps in the same order).
+    ///
+    /// [`encode_state`]: Self::encode_state
+    fn apply_state(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        let corrupt = |context: &str| {
+            CoreError::Durability(DurabilityError::Corrupt {
+                context: context.into(),
+            })
+        };
+        let mut r = codec::Reader::new(bytes);
+        if r.u32().map_err(CoreError::Durability)? != u32::from_le_bytes(*b"SFES") {
+            return Err(corrupt("bad engine-state magic"));
+        }
+        let version = r.u16().map_err(CoreError::Durability)?;
+        if version != 1 {
+            return Err(CoreError::Durability(DurabilityError::UnsupportedVersion {
+                found: version,
+            }));
+        }
+
+        let inner = |r: &mut codec::Reader<'_>, this: &mut Self| -> Result<(), DurabilityError> {
+            let corrupt = |context: &str| DurabilityError::Corrupt {
+                context: context.into(),
+            };
+
+            let phase = match r.u8()? {
+                0 => Phase::Training {
+                    until_wave: r.u64()?,
+                },
+                1 => Phase::Application,
+                _ => return Err(corrupt("unknown engine phase tag")),
+            };
+
+            let n = r.u32()? as usize;
+            if n != this.steps.len() {
+                return Err(corrupt("checkpointed step count does not match workflow"));
+            }
+
+            let mut names = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(r.str()?);
+            }
+            if names
+                .iter()
+                .zip(&this.steps)
+                .any(|(name, step)| *name != step.name)
+            {
+                return Err(corrupt("checkpointed step names do not match workflow"));
+            }
+            let mut kb = KnowledgeBase::new(names);
+            let rows = r.u32()? as usize;
+            for _ in 0..rows {
+                let wave = r.u64()?;
+                let mut impacts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    impacts.push(r.f64()?);
+                }
+                let mut labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    labels.push(r.u8()? != 0);
+                }
+                kb.append(wave, impacts, labels)
+                    .map_err(|_| corrupt("knowledge-base row has the wrong shape"))?;
+            }
+
+            let predictor_mode = r.u8()?;
+            let mut blobs = Vec::new();
+            if predictor_mode == 1 {
+                let count = r.u32()? as usize;
+                if count != n {
+                    return Err(corrupt("predictor model count does not match steps"));
+                }
+                for _ in 0..count {
+                    blobs.push(r.bytes()?);
+                }
+            } else if predictor_mode > 2 {
+                return Err(corrupt("unknown predictor mode tag"));
+            }
+            let quality = match r.u8()? {
+                0 => None,
+                1 => Some(crate::predictor::PredictorQuality {
+                    accuracy: r.f64()?,
+                    precision: r.f64()?,
+                    recall: r.f64()?,
+                }),
+                _ => return Err(corrupt("unknown predictor-quality tag")),
+            };
+
+            let quality_met = r.u8()? != 0;
+            let training_extensions_used = r.u64()? as usize;
+            let application_waves_since_training = r.u64()?;
+            let mut current_impacts = Vec::with_capacity(n);
+            for _ in 0..n {
+                current_impacts.push(r.f64()?);
+            }
+            let mut current_decisions = Vec::with_capacity(n);
+            for _ in 0..n {
+                current_decisions.push(r.u8()? != 0);
+            }
+            let mut sdf_fallback = Vec::with_capacity(n);
+            for _ in 0..n {
+                sdf_fallback.push(r.u8()? != 0);
+            }
+            let mut confidence = Vec::with_capacity(n);
+            for _ in 0..n {
+                let compliant = r.u64()?;
+                let total = r.u64()?;
+                let len = r.u32()? as usize;
+                let mut series = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    series.push(r.f64()?);
+                }
+                confidence.push(ConfidenceTracker::from_parts(compliant, total, series));
+            }
+
+            let totals_len = r.u32()? as usize;
+            let mut totals = Vec::with_capacity(totals_len.min(1 << 20));
+            for _ in 0..totals_len {
+                totals.push(r.u64()?);
+            }
+
+            let mut inputs_restored = Vec::with_capacity(n);
+            let mut outputs_restored = Vec::with_capacity(n);
+            for step in &this.steps {
+                let n_inputs = r.u32()? as usize;
+                if n_inputs != step.inputs.len() {
+                    return Err(corrupt("input tracker count does not match workflow"));
+                }
+                let mut inputs = Vec::with_capacity(n_inputs);
+                for _ in 0..n_inputs {
+                    let baseline = decode_snapshot(r)?;
+                    let prev_wave = decode_snapshot(r)?;
+                    let accumulated = r.f64()?;
+                    inputs.push((baseline, prev_wave, accumulated));
+                }
+                let n_outputs = r.u32()? as usize;
+                if n_outputs != step.outputs.len() {
+                    return Err(corrupt("output tracker count does not match workflow"));
+                }
+                let mut outputs = Vec::with_capacity(n_outputs);
+                for _ in 0..n_outputs {
+                    let baseline = decode_snapshot(r)?;
+                    let prev_wave = decode_snapshot(r)?;
+                    let accumulated = r.f64()?;
+                    outputs.push((baseline, prev_wave, accumulated));
+                }
+                inputs_restored.push(inputs);
+                outputs_restored.push(outputs);
+            }
+            if !r.is_exhausted() {
+                return Err(corrupt("trailing bytes after engine state"));
+            }
+
+            // Everything validated — commit the restored state.
+            this.phase = phase;
+            this.kb = kb;
+            match predictor_mode {
+                1 => {
+                    let mut models: Vec<Box<dyn smartflux_ml::Classifier>> =
+                        Vec::with_capacity(blobs.len());
+                    for blob in &blobs {
+                        let forest = smartflux_ml::RandomForest::from_bytes(blob).map_err(|e| {
+                            DurabilityError::Corrupt {
+                                context: format!("checkpointed model: {e}"),
+                            }
+                        })?;
+                        models.push(Box::new(forest));
+                    }
+                    this.predictor.restore_models(models, quality);
+                }
+                2 => {
+                    // The model kind has no binary codec; rebuild it by
+                    // deterministic retraining over the restored knowledge
+                    // base. An undersized KB leaves the predictor
+                    // untrained — predictions then fail safe (execute).
+                    let _ = this.predictor.train(&this.kb);
+                }
+                _ => {}
+            }
+            this.quality_met = quality_met;
+            this.training_extensions_used = training_extensions_used;
+            this.application_waves_since_training = application_waves_since_training;
+            this.current_impacts = current_impacts;
+            this.current_decisions = current_decisions;
+            this.sdf_fallback = sdf_fallback;
+            this.confidence = confidence;
+            this.monitor.restore_total_write_counts(&totals);
+            for (step, (inputs, outputs)) in this
+                .steps
+                .iter_mut()
+                .zip(inputs_restored.into_iter().zip(outputs_restored))
+            {
+                for (tracker, (baseline, prev_wave, accumulated)) in
+                    step.inputs.iter_mut().zip(inputs)
+                {
+                    tracker.baseline = baseline;
+                    tracker.prev_wave = prev_wave;
+                    tracker.accumulated = accumulated;
+                    tracker.cached_impact = None;
+                }
+                for (tracker, (baseline, prev_wave, accumulated)) in
+                    step.outputs.iter_mut().zip(outputs)
+                {
+                    tracker.baseline = baseline;
+                    tracker.prev_wave = prev_wave;
+                    tracker.accumulated = accumulated;
+                }
+            }
+            this.failed_this_wave = false;
+            this.deferred_this_wave = 0;
+            this.durability_error = None;
+            Ok(())
+        };
+        inner(&mut r, self).map_err(CoreError::Durability)
+    }
+}
+
+/// Serialises one snapshot as `count | (row, qualifier, value)*`.
+fn encode_snapshot(out: &mut Vec<u8>, snapshot: &Snapshot) {
+    codec::put_u32(out, snapshot.len() as u32);
+    for ((row, qualifier), value) in snapshot.iter() {
+        codec::put_str(out, row);
+        codec::put_str(out, qualifier);
+        codec::put_value(out, value);
+    }
+}
+
+/// Rebuilds a snapshot serialised by [`encode_snapshot`].
+fn decode_snapshot(r: &mut codec::Reader<'_>) -> Result<Snapshot, DurabilityError> {
+    let count = r.u32()? as usize;
+    let mut snapshot = Snapshot::new();
+    for _ in 0..count {
+        let row = r.str()?;
+        let qualifier = r.str()?;
+        let value = r.value()?;
+        snapshot.set(row, qualifier, value);
+    }
+    Ok(snapshot)
 }
 
 impl TriggerPolicy for QodEngine {
@@ -737,6 +1187,7 @@ impl TriggerPolicy for QodEngine {
                 }
             }
         }
+        self.durability_commit(wave);
     }
 }
 

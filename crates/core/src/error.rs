@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use smartflux_datastore::StoreError;
+use smartflux_durability::DurabilityError;
 use smartflux_ml::MlError;
 use smartflux_wms::WmsError;
 
@@ -57,6 +58,8 @@ pub enum CoreError {
     },
     /// Opening the telemetry journal sink failed.
     Journal(std::io::Error),
+    /// A write-ahead-log, checkpoint, or recovery operation failed.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for CoreError {
@@ -93,6 +96,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid error bound on step `{step}`: {detail}")
             }
             CoreError::Journal(e) => write!(f, "failed to open telemetry journal: {e}"),
+            CoreError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -104,6 +108,7 @@ impl Error for CoreError {
             CoreError::Workflow(e) => Some(e),
             CoreError::Ml(e) => Some(e),
             CoreError::Journal(e) => Some(e),
+            CoreError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -124,6 +129,12 @@ impl From<MlError> for CoreError {
 impl From<WmsError> for CoreError {
     fn from(e: WmsError) -> Self {
         CoreError::Workflow(e)
+    }
+}
+
+impl From<DurabilityError> for CoreError {
+    fn from(e: DurabilityError) -> Self {
+        CoreError::Durability(e)
     }
 }
 

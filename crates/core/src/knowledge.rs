@@ -157,13 +157,27 @@ impl KnowledgeBase {
         out
     }
 
-    /// Writes the CSV form to a file.
+    /// Writes the CSV form to a file, crash-safely.
+    ///
+    /// The content is written to a sibling temporary file, flushed to
+    /// stable storage, and atomically renamed over `path`, so a crash
+    /// mid-save leaves either the previous file or the new one — never a
+    /// truncated mix.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_csv())
+        use std::io::Write as _;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_csv().as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
     /// Drops all collected rows, keeping the step schema (used when a new
@@ -333,6 +347,29 @@ mod tests {
         assert!(KnowledgeBase::from_csv("wave,impact_a,exec_a\n1,2").is_err());
         // Mismatched label column name.
         assert!(KnowledgeBase::from_csv("wave,impact_a,exec_b\n1,2,1").is_err());
+    }
+
+    #[test]
+    fn write_csv_is_atomic_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("smartflux-kb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.csv");
+
+        // First save, then an overwrite: the reread content must always be
+        // the latest complete CSV and no temporary file may linger.
+        kb().write_csv(&path).unwrap();
+        let mut bigger = kb();
+        bigger.append(3, vec![5.0, 6.0], vec![false, true]).unwrap();
+        bigger.write_csv(&path).unwrap();
+        let reread = KnowledgeBase::read_csv(&path).unwrap().unwrap();
+        assert_eq!(reread, bigger);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temporary file left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub use predictor::{FeatureMode, ModelKind, Predictor, PredictorQuality};
 pub use qod::{AccumulationMode, ErrorBound, ImpactCombiner, QodSpec};
 pub use session::SmartFluxSession;
 
+// Re-export the durability surface so applications can configure
+// crash-safety and recovery without naming the durability crate.
+pub use smartflux_durability::{
+    recover_store, DurabilityError, DurabilityOptions, RecoveredStore, SyncPolicy,
+};
+
 // Re-export the telemetry surface so applications need only this crate to
 // consume metrics snapshots and journals.
 pub use smartflux_telemetry::{

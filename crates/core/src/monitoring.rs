@@ -150,6 +150,29 @@ impl Monitor {
             .map_or(0.0, |c| c.magnitude_this_wave)
     }
 
+    /// Cumulative write counts per watched container, in watch order —
+    /// the monitor's contribution to an engine checkpoint.
+    #[must_use]
+    pub fn total_write_counts(&self) -> Vec<u64> {
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .map(|(_, c)| c.total_writes)
+            .collect()
+    }
+
+    /// Restores cumulative write counts from a checkpoint, pairing
+    /// `totals` with the watched containers in watch order. Extra or
+    /// missing entries are ignored (the caller validates shape); per-wave
+    /// counters are left for the next [`begin_wave`](Self::begin_wave).
+    pub fn restore_total_write_counts(&self, totals: &[u64]) {
+        let mut s = self.state.lock();
+        for ((_, counters), total) in s.entries.iter_mut().zip(totals) {
+            counters.total_writes = *total;
+        }
+    }
+
     /// All watched containers, in watch order.
     #[must_use]
     pub fn watched(&self) -> Vec<ContainerRef> {

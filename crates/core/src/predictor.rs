@@ -331,6 +331,30 @@ impl Predictor {
         Ok(model.predict(&self.project(j, impacts)))
     }
 
+    /// Serialises every trained per-label model into its binary form, for
+    /// engine checkpoints. Returns `None` if the predictor is untrained or
+    /// any model kind lacks a binary codec (such predictors are restored
+    /// by deterministic retraining from the checkpointed knowledge base).
+    pub(crate) fn export_models(&self) -> Option<Vec<Vec<u8>>> {
+        if self.models.is_empty() {
+            return None;
+        }
+        self.models.iter().map(Classifier::export_bytes).collect()
+    }
+
+    /// Installs models deserialized from a checkpoint, together with the
+    /// quality measured when they were originally trained. The build-time
+    /// measurement does not survive recovery (it is reporting-only).
+    pub(crate) fn restore_models(
+        &mut self,
+        models: Vec<Box<dyn Classifier>>,
+        quality: Option<PredictorQuality>,
+    ) {
+        self.models = models;
+        self.quality = quality;
+        self.last_build_time = None;
+    }
+
     /// Per-label execution probabilities.
     ///
     /// # Errors

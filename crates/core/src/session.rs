@@ -99,6 +99,52 @@ impl SmartFluxSession {
         })
     }
 
+    /// Rebuilds a session from the durability checkpoint configured in
+    /// `config.durability`, resuming wave processing right after the last
+    /// checkpointed wave.
+    ///
+    /// The store, engine phase, knowledge base, trained models, impact
+    /// trackers, and confidence series are all restored exactly as they
+    /// were at the checkpoint; the scheduler resumes at the following wave
+    /// and the WAL is reset so re-executed waves are re-journaled. Given a
+    /// deterministic workflow, the recovered session makes the same
+    /// decisions the uninterrupted run would have made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] when `config.durability` is unset
+    /// ([`DurabilityError::NotConfigured`]), no checkpoint exists yet
+    /// ([`DurabilityError::NoCheckpoint`]), or the checkpoint is damaged.
+    ///
+    /// [`DurabilityError::NotConfigured`]: smartflux_durability::DurabilityError::NotConfigured
+    /// [`DurabilityError::NoCheckpoint`]: smartflux_durability::DurabilityError::NoCheckpoint
+    pub fn recover(workflow: Workflow, config: EngineConfig) -> Result<Self, CoreError> {
+        let (mut engine, store, next_wave) = QodEngine::recover(&workflow, config.clone())?;
+        let telemetry = telemetry_for(&config, &store)?;
+        engine.set_telemetry(telemetry.clone());
+        if telemetry.is_enabled() {
+            telemetry.counter(names::RECOVERIES).incr();
+        }
+        let shared = SharedEngine::new(engine);
+        let mut scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        scheduler.set_telemetry(telemetry.clone());
+        scheduler.resume(next_wave);
+        Ok(Self {
+            scheduler,
+            engine: shared,
+            telemetry,
+        })
+    }
+
+    /// Surfaces a durability failure recorded by the engine at the last
+    /// wave boundary; `end_wave` itself cannot return one.
+    fn check_durability(&self) -> Result<(), CoreError> {
+        match self.engine.with_mut(QodEngine::take_durability_error) {
+            Some(e) => Err(CoreError::Durability(e)),
+            None => Ok(()),
+        }
+    }
+
     /// The session's telemetry handle: metrics snapshot, journal, spans.
     /// Inert (disabled) unless [`EngineConfig::telemetry_enabled`] was set.
     #[must_use]
@@ -134,7 +180,9 @@ impl SmartFluxSession {
     ///
     /// Propagates workflow failures.
     pub fn run_wave(&mut self) -> Result<WaveOutcome, CoreError> {
-        Ok(self.scheduler.run_wave()?)
+        let outcome = self.scheduler.run_wave()?;
+        self.check_durability()?;
+        Ok(outcome)
     }
 
     /// Runs `count` waves.
@@ -161,7 +209,9 @@ impl SmartFluxSession {
     ///
     /// Propagates workflow failures.
     pub fn run_wave_parallel(&mut self) -> Result<WaveOutcome, CoreError> {
-        Ok(self.scheduler.run_wave_parallel()?)
+        let outcome = self.scheduler.run_wave_parallel()?;
+        self.check_durability()?;
+        Ok(outcome)
     }
 
     /// Number of waves executed so far.

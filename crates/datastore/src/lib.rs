@@ -57,6 +57,7 @@ mod error;
 mod observer;
 mod scan;
 mod snapshot;
+mod state;
 mod store;
 mod table;
 mod value;
@@ -69,6 +70,7 @@ pub use observer::{
 };
 pub use scan::{RowScan, ScanFilter};
 pub use snapshot::{SlotChange, Snapshot, SnapshotDiff};
+pub use state::{CellState, FamilyState, StoreState, TableState};
 pub use store::DataStore;
 pub use table::{ColumnFamily, Row, Table};
 pub use value::Value;

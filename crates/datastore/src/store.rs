@@ -17,6 +17,7 @@ use crate::observer::{
 };
 use crate::scan::{RowScan, ScanFilter};
 use crate::snapshot::Snapshot;
+use crate::state::{CellState, FamilyState, StoreState, TableState};
 use crate::table::Table;
 use crate::value::Value;
 
@@ -410,6 +411,145 @@ impl DataStore {
         self.inner.read().clock
     }
 
+    /// Overwrites the logical clock.
+    ///
+    /// Recovery support: after replaying a write-ahead-log batch (whose
+    /// operations carry their original timestamps), the clock is restored to
+    /// the committed value so subsequent writes continue the original
+    /// timestamp sequence. Not intended for use outside recovery.
+    pub fn set_clock(&self, clock: Timestamp) {
+        self.inner.write().clock = clock;
+    }
+
+    /// Writes a cell with an explicit timestamp, without advancing the
+    /// clock or notifying observers.
+    ///
+    /// Recovery support: replays a logged `put` exactly as it originally
+    /// happened. Re-notifying observers here would double-log the write.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn apply_put(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+        value: Value,
+        ts: Timestamp,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let max_versions = inner.max_versions;
+        let fam = Self::family_mut(&mut inner, table, family)?;
+        fam.row_mut(row)
+            .put_with_versions(qualifier, value, ts, max_versions);
+        Ok(())
+    }
+
+    /// Deletes a cell without advancing the clock or notifying observers.
+    ///
+    /// Recovery support: replays a logged `delete`. Deleting an absent cell
+    /// is not an error (mirrors [`delete`](Self::delete)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or family does not exist.
+    pub fn apply_delete(
+        &self,
+        table: &str,
+        family: &str,
+        row: &str,
+        qualifier: &str,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let fam = Self::family_mut(&mut inner, table, family)?;
+        fam.delete_cell(row, qualifier);
+        Ok(())
+    }
+
+    /// Captures the full store contents — every table, family, cell and
+    /// retained version, plus the logical clock — as plain data.
+    ///
+    /// This is the checkpoint surface of the durability subsystem: the
+    /// returned [`StoreState`] owns copies of everything and holds no lock.
+    #[must_use]
+    pub fn export_state(&self) -> StoreState {
+        let inner = self.inner.read();
+        let tables = inner
+            .tables
+            .iter()
+            .map(|(name, table)| TableState {
+                name: name.clone(),
+                families: table
+                    .iter()
+                    .map(|(fname, fam)| FamilyState {
+                        name: fname.to_owned(),
+                        cells: fam
+                            .iter()
+                            .flat_map(|(row, r)| {
+                                r.iter().map(move |(q, cell)| CellState {
+                                    row: row.to_owned(),
+                                    qualifier: q.to_owned(),
+                                    versions: cell.versions().to_vec(),
+                                })
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        StoreState {
+            clock: inner.clock,
+            max_versions: inner.max_versions,
+            tables,
+        }
+    }
+
+    /// Reconstructs a store from a previously exported [`StoreState`].
+    ///
+    /// The recovery constructor: the result is indistinguishable from the
+    /// store that produced the state — same containers, same version
+    /// histories, same clock. No observers are registered and none are
+    /// notified during reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the state names a duplicate table or family, or
+    /// contains a cell with no versions.
+    pub fn from_state(state: StoreState) -> Result<Self, StoreError> {
+        if state.max_versions == 0 {
+            return Err(StoreError::InvalidState("max_versions is zero".to_owned()));
+        }
+        let store = Self::with_max_versions(state.max_versions);
+        for table in state.tables {
+            store.create_table(&table.name)?;
+            for family in table.families {
+                store.create_family(&table.name, &family.name)?;
+                for cell in family.cells {
+                    if cell.versions.is_empty() {
+                        return Err(StoreError::InvalidState(format!(
+                            "cell ({}, {}) in {}/{} has no versions",
+                            cell.row, cell.qualifier, table.name, family.name
+                        )));
+                    }
+                    for (ts, value) in cell.versions {
+                        store.apply_put(
+                            &table.name,
+                            &family.name,
+                            &cell.row,
+                            &cell.qualifier,
+                            value,
+                            ts,
+                        )?;
+                    }
+                }
+            }
+        }
+        store.set_clock(state.clock);
+        Ok(store)
+    }
+
     /// Names of all tables, in order.
     #[must_use]
     pub fn table_names(&self) -> Vec<String> {
@@ -676,6 +816,112 @@ mod tests {
     fn store_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DataStore>();
+    }
+
+    #[test]
+    fn snapshot_diff_ignores_delete_then_readd_at_same_value() {
+        let s = store_with_tf();
+        s.put("t", "f", "r", "q", Value::from(5.0)).unwrap();
+        let c = ContainerRef::family("t", "f");
+        let before = s.snapshot(&c).unwrap();
+
+        // Delete and re-add the slot at the same value. The cell's version
+        // history restarts, but the snapshot diff sees current values only.
+        s.delete("t", "f", "r", "q").unwrap();
+        s.put("t", "f", "r", "q", Value::from(5.0)).unwrap();
+        let after = s.snapshot(&c).unwrap();
+        assert!(after.diff(&before).is_empty());
+
+        // Whereas re-adding at a different value is a visible update.
+        s.delete("t", "f", "r", "q").unwrap();
+        s.put("t", "f", "r", "q", Value::from(6.0)).unwrap();
+        let after = s.snapshot(&c).unwrap();
+        let d = after.diff(&before);
+        assert_eq!(d.modified_count(), 1);
+        assert_eq!(d.changes()[0].magnitude(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_self_diff_is_empty_after_version_compaction() {
+        // Overflow the version bound so the cell compacts its history,
+        // then check a snapshot still diffs empty against itself.
+        let s = DataStore::with_max_versions(2);
+        s.create_table("t").unwrap();
+        s.create_family("t", "f").unwrap();
+        for i in 0..10 {
+            s.put("t", "f", "r", "q", Value::from(f64::from(i)))
+                .unwrap();
+        }
+        let c = ContainerRef::family("t", "f");
+        let snap = s.snapshot(&c).unwrap();
+        let d = snap.diff(&snap);
+        assert!(d.is_empty());
+        assert_eq!(d.total_slots(), 1);
+        // And against a freshly captured snapshot of the unchanged store.
+        assert!(s.snapshot(&c).unwrap().diff(&snap).is_empty());
+    }
+
+    #[test]
+    fn export_state_roundtrips_through_from_state() {
+        let s = DataStore::with_max_versions(3);
+        s.create_table("t").unwrap();
+        s.create_family("t", "f").unwrap();
+        s.create_family("t", "g").unwrap();
+        s.create_table("empty").unwrap();
+        for i in 0..5 {
+            s.put("t", "f", "r", "q", Value::from(f64::from(i)))
+                .unwrap();
+        }
+        s.put("t", "g", "r2", "name", Value::from("x")).unwrap();
+        s.put("t", "g", "r2", "raw", Value::from(vec![1u8, 2]))
+            .unwrap();
+        s.delete("t", "f", "r", "missing").unwrap();
+
+        let state = s.export_state();
+        let restored = DataStore::from_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.clock(), s.clock());
+        assert_eq!(restored.max_versions(), 3);
+        assert!(restored.has_table("empty"));
+        let cell = restored.get_versioned("t", "f", "r", "q").unwrap().unwrap();
+        assert_eq!(cell.version_count(), 3);
+        assert_eq!(cell.current().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn from_state_rejects_invalid_states() {
+        let mut state = store_with_tf().export_state();
+        state.max_versions = 0;
+        assert!(matches!(
+            DataStore::from_state(state),
+            Err(StoreError::InvalidState(_))
+        ));
+
+        let s = store_with_tf();
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        let mut state = s.export_state();
+        state.tables[0].families[0].cells[0].versions.clear();
+        assert!(matches!(
+            DataStore::from_state(state),
+            Err(StoreError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn apply_put_and_delete_are_silent_and_clock_neutral() {
+        let s = store_with_tf();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.register_observer(Arc::new(move |_: &WriteEvent| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        s.apply_put("t", "f", "r", "q", Value::from(1.0), 7)
+            .unwrap();
+        s.apply_delete("t", "f", "r", "q").unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(s.clock(), 0);
+        s.set_clock(7);
+        assert_eq!(s.clock(), 7);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Checkpoint files: a full store snapshot plus opaque engine state.
+//!
+//! A checkpoint is a single file of three CRC frames:
+//!
+//! ```text
+//! frame(meta)   := "SFCP" | version:u16 | wave:u64 | clock:u64
+//! frame(store)  := encoded StoreState (tables → families → cells → versions)
+//! frame(engine) := opaque engine bytes (may be empty)
+//! ```
+//!
+//! The file is written to a temporary name, fsynced, and atomically
+//! renamed over the previous checkpoint, so there is always at most one
+//! valid checkpoint and never a half-written one. Because of the rename,
+//! *any* damage — including truncation — reads as
+//! [`DurabilityError::Corrupt`], unlike the WAL where a torn tail is
+//! expected.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use smartflux_datastore::{CellState, FamilyState, StoreState, TableState};
+
+use crate::codec::{
+    put_str, put_u16, put_u32, put_u64, put_value, read_frame, write_frame, FrameRead, Reader,
+};
+use crate::error::DurabilityError;
+
+/// File name of the checkpoint inside a durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.ckpt";
+
+const MAGIC: &[u8; 4] = b"SFCP";
+const VERSION: u16 = 1;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Wave at whose end the checkpoint was taken.
+    pub wave: u64,
+    /// Store logical clock at checkpoint time.
+    pub clock: u64,
+    /// Full store contents.
+    pub store: StoreState,
+    /// Opaque engine state (the `smartflux` crate's checkpoint codec owns
+    /// this format; empty for store-only durability).
+    pub engine: Vec<u8>,
+}
+
+fn encode_store(state: &StoreState) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, state.clock);
+    put_u64(&mut out, state.max_versions as u64);
+    put_u32(&mut out, state.tables.len() as u32);
+    for table in &state.tables {
+        put_str(&mut out, &table.name);
+        put_u32(&mut out, table.families.len() as u32);
+        for family in &table.families {
+            put_str(&mut out, &family.name);
+            put_u32(&mut out, family.cells.len() as u32);
+            for cell in &family.cells {
+                put_str(&mut out, &cell.row);
+                put_str(&mut out, &cell.qualifier);
+                put_u32(&mut out, cell.versions.len() as u32);
+                for (ts, value) in &cell.versions {
+                    put_u64(&mut out, *ts);
+                    put_value(&mut out, value);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_store(payload: &[u8]) -> Result<StoreState, DurabilityError> {
+    let mut r = Reader::new(payload);
+    let clock = r.u64()?;
+    let max_versions = r.u64()? as usize;
+    let n_tables = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(1024));
+    for _ in 0..n_tables {
+        let name = r.str()?;
+        let n_families = r.u32()? as usize;
+        let mut families = Vec::with_capacity(n_families.min(1024));
+        for _ in 0..n_families {
+            let fname = r.str()?;
+            let n_cells = r.u32()? as usize;
+            let mut cells = Vec::with_capacity(n_cells.min(65_536));
+            for _ in 0..n_cells {
+                let row = r.str()?;
+                let qualifier = r.str()?;
+                let n_versions = r.u32()? as usize;
+                let mut versions = Vec::with_capacity(n_versions.min(1024));
+                for _ in 0..n_versions {
+                    let ts = r.u64()?;
+                    versions.push((ts, r.value()?));
+                }
+                cells.push(CellState {
+                    row,
+                    qualifier,
+                    versions,
+                });
+            }
+            families.push(FamilyState { name: fname, cells });
+        }
+        tables.push(TableState { name, families });
+    }
+    if !r.is_exhausted() {
+        return Err(DurabilityError::Corrupt {
+            context: format!("{} trailing bytes after store state", r.remaining()),
+        });
+    }
+    Ok(StoreState {
+        clock,
+        max_versions,
+        tables,
+    })
+}
+
+/// Writes `checkpoint` into `dir` atomically, returning the file size.
+///
+/// # Errors
+///
+/// Returns an I/O error if writing, syncing or renaming fails.
+pub fn write_checkpoint(dir: &Path, checkpoint: &Checkpoint) -> Result<u64, DurabilityError> {
+    let mut meta = Vec::with_capacity(24);
+    meta.extend_from_slice(MAGIC);
+    put_u16(&mut meta, VERSION);
+    put_u64(&mut meta, checkpoint.wave);
+    put_u64(&mut meta, checkpoint.clock);
+
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &meta);
+    write_frame(&mut buf, &encode_store(&checkpoint.store));
+    write_frame(&mut buf, &checkpoint.engine);
+
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    let dst = dir.join(CHECKPOINT_FILE);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &dst)?;
+    // Best-effort directory fsync so the rename itself is durable. Some
+    // filesystems refuse to open directories for writing; that is fine.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(buf.len() as u64)
+}
+
+/// Reads the checkpoint from `dir`, or `None` if none was ever written.
+///
+/// # Errors
+///
+/// Returns an I/O error on read failure, [`DurabilityError::Corrupt`] on
+/// any validation failure, or [`DurabilityError::UnsupportedVersion`] for
+/// a future format version.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, DurabilityError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut buf = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+
+    let mut frames = Vec::with_capacity(3);
+    let mut pos = 0;
+    loop {
+        match read_frame(&buf, pos)? {
+            FrameRead::Frame { payload, next } => {
+                frames.push(payload);
+                pos = next;
+            }
+            FrameRead::End => break,
+            FrameRead::Torn => {
+                return Err(DurabilityError::Corrupt {
+                    context: "checkpoint file is truncated".to_owned(),
+                })
+            }
+        }
+    }
+    if frames.len() != 3 {
+        return Err(DurabilityError::Corrupt {
+            context: format!("checkpoint has {} frames, expected 3", frames.len()),
+        });
+    }
+
+    let mut meta = Reader::new(frames[0]);
+    let magic = [meta.u8()?, meta.u8()?, meta.u8()?, meta.u8()?];
+    if &magic != MAGIC {
+        return Err(DurabilityError::Corrupt {
+            context: "checkpoint magic mismatch".to_owned(),
+        });
+    }
+    let version = meta.u16()?;
+    if version != VERSION {
+        return Err(DurabilityError::UnsupportedVersion { found: version });
+    }
+    let wave = meta.u64()?;
+    let clock = meta.u64()?;
+
+    Ok(Some(Checkpoint {
+        wave,
+        clock,
+        store: decode_store(frames[1])?,
+        engine: frames[2].to_vec(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_datastore::{DataStore, Value};
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smartflux-ckpt-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let store = DataStore::with_max_versions(3);
+        store.create_table("t").unwrap();
+        store.create_family("t", "f").unwrap();
+        store.put("t", "f", "r", "q", Value::from(1.5)).unwrap();
+        store.put("t", "f", "r", "q", Value::from(2.5)).unwrap();
+        store.put("t", "f", "r2", "name", Value::from("x")).unwrap();
+        Checkpoint {
+            wave: 42,
+            clock: store.clock(),
+            store: store.export_state(),
+            engine: vec![9, 8, 7],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let ckpt = sample_checkpoint();
+        let bytes = write_checkpoint(&dir, &ckpt).unwrap();
+        assert!(bytes > 0);
+        let restored = read_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(restored, ckpt);
+        // A second checkpoint atomically replaces the first.
+        let mut ckpt2 = sample_checkpoint();
+        ckpt2.wave = 84;
+        write_checkpoint(&dir, &ckpt2).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap().wave, 84);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_checkpoint_reads_as_none() {
+        let dir = tmp_dir("absent");
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_checkpoint_is_typed_corruption_never_a_panic() {
+        let dir = tmp_dir("damage");
+        let ckpt = sample_checkpoint();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let original = std::fs::read(&path).unwrap();
+
+        // Every possible truncation of the file is rejected cleanly.
+        for cut in 0..original.len() {
+            std::fs::write(&path, &original[..cut]).unwrap();
+            match read_checkpoint(&dir) {
+                Err(DurabilityError::Corrupt { .. }) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+
+        // A flipped payload byte is caught by the CRC.
+        let mut flipped = original.clone();
+        let idx = flipped.len() / 2;
+        flipped[idx] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read_checkpoint(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let dir = tmp_dir("version");
+        let mut meta = Vec::new();
+        meta.extend_from_slice(MAGIC);
+        put_u16(&mut meta, VERSION + 1);
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, 0);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &meta);
+        write_frame(&mut buf, &[]);
+        write_frame(&mut buf, &[]);
+        std::fs::write(dir.join(CHECKPOINT_FILE), &buf).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir),
+            Err(DurabilityError::UnsupportedVersion { found }) if found == VERSION + 1
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Durability error types.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors returned by the durability subsystem.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A log or checkpoint record failed validation (bad magic, CRC
+    /// mismatch on a fully-present frame, or a malformed payload).
+    ///
+    /// This is *not* returned for a torn final WAL record — a tail cut
+    /// short by a crash is expected and recovery drops it silently.
+    Corrupt {
+        /// What was being decoded and why it was rejected.
+        context: String,
+    },
+    /// The on-disk format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u16,
+    },
+    /// Recovery was requested but the directory holds no checkpoint.
+    NoCheckpoint(PathBuf),
+    /// A durability operation was invoked on an engine configured without
+    /// durability.
+    NotConfigured,
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
+            DurabilityError::Corrupt { context } => {
+                write!(f, "corrupt durability record: {context}")
+            }
+            DurabilityError::UnsupportedVersion { found } => {
+                write!(f, "unsupported durability format version {found}")
+            }
+            DurabilityError::NoCheckpoint(dir) => {
+                write!(f, "no checkpoint found in {}", dir.display())
+            }
+            DurabilityError::NotConfigured => {
+                write!(f, "durability is not configured for this engine")
+            }
+        }
+    }
+}
+
+impl Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DurabilityError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DurabilityError::Corrupt {
+            context: "bad crc".into()
+        }
+        .to_string()
+        .contains("bad crc"));
+        assert!(DurabilityError::NoCheckpoint(PathBuf::from("/tmp/x"))
+            .to_string()
+            .contains("/tmp/x"));
+        assert!(DurabilityError::UnsupportedVersion { found: 9 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let e = DurabilityError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,348 @@
+//! The durability manager: buffers observed writes, group-commits them at
+//! wave boundaries, and takes periodic checkpoints.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smartflux_datastore::{DataStore, ObserverHandle, WriteEvent, WriteKind};
+use smartflux_telemetry::{names, Telemetry};
+
+use crate::checkpoint::{write_checkpoint, Checkpoint};
+use crate::error::DurabilityError;
+use crate::options::DurabilityOptions;
+use crate::wal::{encode_op_delete, encode_op_put, Wal};
+
+/// File name of the write-ahead log inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Mutations captured since the last commit, already in WAL wire format.
+///
+/// Encoding at observation time keeps the write hot path allocation-free:
+/// the observer appends ~40 bytes to one growing buffer instead of cloning
+/// four strings and a value per mutation.
+#[derive(Debug, Default)]
+struct OpBuffer {
+    bytes: Vec<u8>,
+    count: u32,
+}
+
+/// Buffers store mutations between wave boundaries and owns the WAL and
+/// checkpoint lifecycle.
+///
+/// The manager hooks the store's [`WriteObserver`] surface: every put and
+/// effective delete is captured into an in-memory buffer, and
+/// [`commit_wave`] drains the buffer into one atomic, CRC-framed WAL
+/// record. [`maybe_checkpoint`] writes a full store snapshot at the
+/// configured interval and compacts the WAL prefix it supersedes.
+///
+/// [`WriteObserver`]: smartflux_datastore::WriteObserver
+/// [`commit_wave`]: Self::commit_wave
+/// [`maybe_checkpoint`]: Self::maybe_checkpoint
+#[derive(Debug)]
+pub struct DurabilityManager {
+    options: DurabilityOptions,
+    wal: Mutex<Wal>,
+    buffer: Arc<Mutex<OpBuffer>>,
+    telemetry: Telemetry,
+}
+
+impl DurabilityManager {
+    /// Opens (creating as needed) the durability directory and its WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or log cannot be created.
+    pub fn open(options: DurabilityOptions) -> Result<Self, DurabilityError> {
+        std::fs::create_dir_all(options.dir())?;
+        let wal = Wal::open(options.dir().join(WAL_FILE), options.sync())?;
+        Ok(Self {
+            options,
+            wal: Mutex::new(wal),
+            buffer: Arc::new(Mutex::new(OpBuffer::default())),
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Routes WAL metrics through `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The configuration this manager was opened with.
+    #[must_use]
+    pub fn options(&self) -> &DurabilityOptions {
+        &self.options
+    }
+
+    /// Registers the write-capture observer on `store`.
+    ///
+    /// Every mutation notified after this call is buffered until the next
+    /// [`commit_wave`](Self::commit_wave).
+    pub fn attach(&self, store: &DataStore) -> ObserverHandle {
+        let buffer = Arc::clone(&self.buffer);
+        let fallback = smartflux_datastore::Value::I64(0);
+        store.register_observer(Arc::new(move |event: &WriteEvent| {
+            let mut buf = buffer.lock();
+            match event.kind {
+                WriteKind::Put => encode_op_put(
+                    &mut buf.bytes,
+                    &event.table,
+                    &event.family,
+                    &event.row,
+                    &event.qualifier,
+                    event.timestamp,
+                    // A put always carries a new value; tolerate a
+                    // malformed event rather than dropping the op.
+                    event.new.as_ref().unwrap_or(&fallback),
+                ),
+                WriteKind::Delete => encode_op_delete(
+                    &mut buf.bytes,
+                    &event.table,
+                    &event.family,
+                    &event.row,
+                    &event.qualifier,
+                    event.timestamp,
+                ),
+            }
+            buf.count += 1;
+        }))
+    }
+
+    /// Number of buffered, not-yet-committed operations.
+    #[must_use]
+    pub fn pending_ops(&self) -> usize {
+        self.buffer.lock().count as usize
+    }
+
+    /// Group-commits all buffered operations as wave `wave`'s batch.
+    ///
+    /// `clock` must be the store's logical clock at the wave boundary;
+    /// replay restores it after applying the batch. Empty batches are
+    /// committed too, so clock advances from no-op deletes survive a
+    /// crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the append or fsync fails. The buffered
+    /// operations are dropped either way — a failed commit means the
+    /// process should fall back to non-durable operation, not retry into
+    /// a misordered log.
+    pub fn commit_wave(&self, wave: u64, clock: u64) -> Result<(), DurabilityError> {
+        let OpBuffer { bytes, count } = std::mem::take(&mut *self.buffer.lock());
+        let outcome = self.wal.lock().append_encoded(wave, clock, count, &bytes)?;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::WAL_RECORDS).incr();
+            self.telemetry.counter(names::WAL_BYTES).add(outcome.bytes);
+            if outcome.synced {
+                self.telemetry
+                    .histogram(names::FSYNC_LATENCY)
+                    .record_ns(outcome.sync_nanos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint if `wave` falls on the configured interval.
+    ///
+    /// Returns `true` if a checkpoint was written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if writing the checkpoint or compacting the
+    /// WAL fails.
+    pub fn maybe_checkpoint(
+        &self,
+        wave: u64,
+        store: &DataStore,
+        engine: Vec<u8>,
+    ) -> Result<bool, DurabilityError> {
+        if wave == 0 || !wave.is_multiple_of(self.options.checkpoint_interval()) {
+            return Ok(false);
+        }
+        self.checkpoint(wave, store, engine)?;
+        Ok(true)
+    }
+
+    /// Unconditionally checkpoints the full store plus `engine` state at
+    /// wave `wave`, then compacts the WAL prefix the checkpoint covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if writing or compaction fails.
+    pub fn checkpoint(
+        &self,
+        wave: u64,
+        store: &DataStore,
+        engine: Vec<u8>,
+    ) -> Result<(), DurabilityError> {
+        let checkpoint = Checkpoint {
+            wave,
+            clock: store.clock(),
+            store: store.export_state(),
+            engine,
+        };
+        write_checkpoint(self.options.dir(), &checkpoint)?;
+        self.wal.lock().compact(wave)?;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(names::CHECKPOINTS).incr();
+        }
+        Ok(())
+    }
+
+    /// Truncates the WAL to empty.
+    ///
+    /// Recovery support: after an engine restart from a checkpoint, the
+    /// waves recorded in the WAL tail will re-execute and re-commit, so
+    /// the stale tail must not survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the truncation fails.
+    pub fn reset_wal(&self) -> Result<(), DurabilityError> {
+        *self.buffer.lock() = OpBuffer::default();
+        self.wal.lock().reset()
+    }
+
+    /// Current WAL length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the log metadata cannot be read.
+    pub fn wal_len(&self) -> Result<u64, DurabilityError> {
+        self.wal.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::recover_store;
+    use crate::SyncPolicy;
+    use smartflux_datastore::Value;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smartflux-mgr-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_with_tf() -> DataStore {
+        let s = DataStore::new();
+        s.create_table("t").unwrap();
+        s.create_family("t", "f").unwrap();
+        s
+    }
+
+    #[test]
+    fn observed_writes_commit_and_recover() {
+        let dir = tmp_dir("commit");
+        let mgr =
+            DurabilityManager::open(DurabilityOptions::new(&dir).with_sync(SyncPolicy::Never))
+                .unwrap();
+        let store = store_with_tf();
+        let _handle = mgr.attach(&store);
+
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        store.put("t", "f", "r", "q2", Value::from(2.0)).unwrap();
+        assert_eq!(mgr.pending_ops(), 2);
+        mgr.commit_wave(1, store.clock()).unwrap();
+        assert_eq!(mgr.pending_ops(), 0);
+
+        store.delete("t", "f", "r", "q2").unwrap();
+        // A delete of an absent cell bumps the clock without an op.
+        store.delete("t", "f", "r", "nope").unwrap();
+        mgr.commit_wave(2, store.clock()).unwrap();
+
+        let recovered = recover_store(&dir).unwrap();
+        assert_eq!(recovered.last_wave, 2);
+        assert_eq!(recovered.checkpoint_wave, 0);
+        assert!(!recovered.torn_tail);
+        assert_eq!(recovered.store.clock(), store.clock());
+        assert_eq!(
+            recovered.store.get("t", "f", "r", "q").unwrap(),
+            Some(Value::from(1.0))
+        );
+        assert_eq!(recovered.store.get("t", "f", "r", "q2").unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_wal_and_recovery_uses_both() {
+        let dir = tmp_dir("checkpoint");
+        let mgr = DurabilityManager::open(
+            DurabilityOptions::new(&dir)
+                .with_sync(SyncPolicy::Never)
+                .with_checkpoint_interval(2),
+        )
+        .unwrap();
+        let store = store_with_tf();
+        let _handle = mgr.attach(&store);
+
+        for wave in 1..=5u64 {
+            store
+                .put("t", "f", "r", "q", Value::from(wave as f64))
+                .unwrap();
+            mgr.commit_wave(wave, store.clock()).unwrap();
+            mgr.maybe_checkpoint(wave, &store, vec![wave as u8])
+                .unwrap();
+        }
+        // Last checkpoint was at wave 4; the WAL holds only wave 5.
+        let read = crate::wal::read_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(
+            read.batches.iter().map(|b| b.wave).collect::<Vec<_>>(),
+            vec![5]
+        );
+
+        let recovered = recover_store(&dir).unwrap();
+        assert_eq!(recovered.checkpoint_wave, 4);
+        assert_eq!(recovered.last_wave, 5);
+        assert_eq!(recovered.engine_state, vec![4u8]);
+        assert_eq!(
+            recovered.store.get("t", "f", "r", "q").unwrap(),
+            Some(Value::from(5.0))
+        );
+        assert_eq!(recovered.store.clock(), store.clock());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_wal_clears_pending_and_log() {
+        let dir = tmp_dir("reset");
+        let mgr =
+            DurabilityManager::open(DurabilityOptions::new(&dir).with_sync(SyncPolicy::Never))
+                .unwrap();
+        let store = store_with_tf();
+        let _handle = mgr.attach(&store);
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        mgr.commit_wave(1, store.clock()).unwrap();
+        store.put("t", "f", "r", "q", Value::from(2.0)).unwrap();
+        mgr.reset_wal().unwrap();
+        assert_eq!(mgr.pending_ops(), 0);
+        assert_eq!(mgr.wal_len().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_counters_track_wal_activity() {
+        let dir = tmp_dir("telemetry");
+        let mut mgr =
+            DurabilityManager::open(DurabilityOptions::new(&dir).with_sync(SyncPolicy::Always))
+                .unwrap();
+        let telemetry = Telemetry::enabled();
+        mgr.set_telemetry(telemetry.clone());
+        let store = store_with_tf();
+        let _handle = mgr.attach(&store);
+        store.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        mgr.commit_wave(1, store.clock()).unwrap();
+        mgr.checkpoint(1, &store, Vec::new()).unwrap();
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(names::WAL_RECORDS), 1);
+        assert!(snap.counter(names::WAL_BYTES) > 8);
+        assert_eq!(snap.counter(names::CHECKPOINTS), 1);
+        assert!(snap.histogram(names::FSYNC_LATENCY).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,562 @@
+//! The append-only, CRC-framed write-ahead log.
+//!
+//! One framed record per committed wave:
+//!
+//! ```text
+//! record  := frame(batch)
+//! batch   := tag:u8(=1) | wave:u64 | clock:u64 | op_count:u32 | op*
+//! op(put) := 0:u8 | table | family | row | qualifier | ts:u64 | value
+//! op(del) := 1:u8 | table | family | row | qualifier | ts:u64
+//! ```
+//!
+//! Strings are length-prefixed UTF-8; all integers little-endian; the
+//! frame carries the payload length and CRC-32 (see [`crate::codec`]).
+//! The commit record's `clock` is the store's logical clock *after* the
+//! wave, so replay restores the exact timestamp sequence even for waves
+//! whose only writes were no-op deletes (which bump the clock without
+//! producing an op).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use smartflux_datastore::Value;
+
+use crate::codec::{
+    put_str, put_u32, put_u64, put_u8, put_value, read_frame, write_frame, FrameRead, Reader,
+};
+use crate::error::DurabilityError;
+use crate::options::SyncPolicy;
+
+/// Record-type tag for a committed wave batch.
+const BATCH_TAG: u8 = 1;
+
+/// One logged store mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A cell write.
+    Put {
+        /// Table name.
+        table: String,
+        /// Column family name.
+        family: String,
+        /// Row key.
+        row: String,
+        /// Column qualifier.
+        qualifier: String,
+        /// Written value.
+        value: Value,
+        /// Store timestamp assigned to the write.
+        timestamp: u64,
+    },
+    /// A cell deletion that removed a value.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Column family name.
+        family: String,
+        /// Row key.
+        row: String,
+        /// Column qualifier.
+        qualifier: String,
+        /// Store timestamp assigned to the delete.
+        timestamp: u64,
+    },
+}
+
+/// All mutations of one wave, committed atomically as a single record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalBatch {
+    /// Wave whose execution produced these operations.
+    pub wave: u64,
+    /// Store logical clock after the wave completed.
+    pub clock: u64,
+    /// Operations in execution order. May be empty — empty batches are
+    /// still committed so the clock stays exact across no-op waves.
+    pub ops: Vec<WalOp>,
+}
+
+/// Appends one encoded put op to `out` in the WAL op wire format.
+///
+/// Takes the fields by reference so the write-observer hot path can encode
+/// straight out of a borrowed event — no per-op string allocation.
+pub fn encode_op_put(
+    out: &mut Vec<u8>,
+    table: &str,
+    family: &str,
+    row: &str,
+    qualifier: &str,
+    timestamp: u64,
+    value: &Value,
+) {
+    put_u8(out, 0);
+    put_str(out, table);
+    put_str(out, family);
+    put_str(out, row);
+    put_str(out, qualifier);
+    put_u64(out, timestamp);
+    put_value(out, value);
+}
+
+/// Appends one encoded delete op to `out` in the WAL op wire format.
+pub fn encode_op_delete(
+    out: &mut Vec<u8>,
+    table: &str,
+    family: &str,
+    row: &str,
+    qualifier: &str,
+    timestamp: u64,
+) {
+    put_u8(out, 1);
+    put_str(out, table);
+    put_str(out, family);
+    put_str(out, row);
+    put_str(out, qualifier);
+    put_u64(out, timestamp);
+}
+
+fn encode_batch(batch: &WalBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + batch.ops.len() * 48);
+    put_u8(&mut out, BATCH_TAG);
+    put_u64(&mut out, batch.wave);
+    put_u64(&mut out, batch.clock);
+    put_u32(&mut out, batch.ops.len() as u32);
+    for op in &batch.ops {
+        match op {
+            WalOp::Put {
+                table,
+                family,
+                row,
+                qualifier,
+                value,
+                timestamp,
+            } => encode_op_put(&mut out, table, family, row, qualifier, *timestamp, value),
+            WalOp::Delete {
+                table,
+                family,
+                row,
+                qualifier,
+                timestamp,
+            } => encode_op_delete(&mut out, table, family, row, qualifier, *timestamp),
+        }
+    }
+    out
+}
+
+fn decode_batch(payload: &[u8]) -> Result<WalBatch, DurabilityError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != BATCH_TAG {
+        return Err(DurabilityError::Corrupt {
+            context: format!("unknown WAL record tag {tag}"),
+        });
+    }
+    let wave = r.u64()?;
+    let clock = r.u64()?;
+    let op_count = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(op_count.min(4096));
+    for _ in 0..op_count {
+        let kind = r.u8()?;
+        let table = r.str()?;
+        let family = r.str()?;
+        let row = r.str()?;
+        let qualifier = r.str()?;
+        let timestamp = r.u64()?;
+        ops.push(match kind {
+            0 => WalOp::Put {
+                table,
+                family,
+                row,
+                qualifier,
+                value: r.value()?,
+                timestamp,
+            },
+            1 => WalOp::Delete {
+                table,
+                family,
+                row,
+                qualifier,
+                timestamp,
+            },
+            k => {
+                return Err(DurabilityError::Corrupt {
+                    context: format!("unknown WAL op kind {k}"),
+                })
+            }
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(DurabilityError::Corrupt {
+            context: format!("{} trailing bytes after WAL batch", r.remaining()),
+        });
+    }
+    Ok(WalBatch { wave, clock, ops })
+}
+
+/// What one append cost, for the caller's telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendOutcome {
+    /// Bytes appended to the log (frame header included).
+    pub bytes: u64,
+    /// Whether this append ended with an fsync.
+    pub synced: bool,
+    /// Duration of that fsync in nanoseconds (0 when not synced).
+    pub sync_nanos: u64,
+}
+
+/// A write-ahead log opened for appending.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    policy: SyncPolicy,
+    appends_since_sync: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be opened.
+    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<Self, DurabilityError> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file,
+            policy,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// The log file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file metadata cannot be read.
+    pub fn len(&self) -> Result<u64, DurabilityError> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Returns `true` if the log holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file metadata cannot be read.
+    pub fn is_empty(&self) -> Result<bool, DurabilityError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Appends one committed batch, flushing per the sync policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write or fsync fails.
+    pub fn append(&mut self, batch: &WalBatch) -> Result<AppendOutcome, DurabilityError> {
+        self.append_payload(&encode_batch(batch))
+    }
+
+    /// Appends a batch whose ops were pre-encoded with [`encode_op_put`] /
+    /// [`encode_op_delete`] — the group-commit fast path: the header is
+    /// prepended and the op bytes are spliced in without re-encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write or fsync fails.
+    pub fn append_encoded(
+        &mut self,
+        wave: u64,
+        clock: u64,
+        op_count: u32,
+        ops: &[u8],
+    ) -> Result<AppendOutcome, DurabilityError> {
+        let mut payload = Vec::with_capacity(21 + ops.len());
+        put_u8(&mut payload, BATCH_TAG);
+        put_u64(&mut payload, wave);
+        put_u64(&mut payload, clock);
+        put_u32(&mut payload, op_count);
+        payload.extend_from_slice(ops);
+        self.append_payload(&payload)
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> Result<AppendOutcome, DurabilityError> {
+        let mut buf = Vec::with_capacity(payload.len() + 8);
+        let bytes = write_frame(&mut buf, payload) as u64;
+        self.file.write_all(&buf)?;
+        self.appends_since_sync += 1;
+        let should_sync = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::Interval(n) => self.appends_since_sync >= n.max(1),
+            SyncPolicy::Never => false,
+        };
+        let mut outcome = AppendOutcome {
+            bytes,
+            ..AppendOutcome::default()
+        };
+        if should_sync {
+            // tidy:allow(time): measures fsync latency for the
+            // durability.fsync histogram; reported, never replayed
+            let start = Instant::now();
+            self.file.sync_data()?;
+            outcome.sync_nanos = start.elapsed().as_nanos() as u64;
+            outcome.synced = true;
+            self.appends_since_sync = 0;
+        }
+        Ok(outcome)
+    }
+
+    /// Forces an fsync regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the fsync fails.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Truncates the log to empty (used when a checkpoint supersedes the
+    /// whole log, and when recovery restarts from a checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the truncation fails.
+    pub fn reset(&mut self) -> Result<(), DurabilityError> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Rewrites the log keeping only batches with `wave > checkpoint_wave`.
+    ///
+    /// The surviving suffix is written to a temporary file which atomically
+    /// replaces the log, so a crash mid-compaction leaves either the old
+    /// or the new log, never a mix. A torn final record is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on filesystem failure, or
+    /// [`DurabilityError::Corrupt`] if a fully-present record fails
+    /// validation.
+    pub fn compact(&mut self, checkpoint_wave: u64) -> Result<(), DurabilityError> {
+        let read = read_wal(&self.path)?;
+        let mut buf = Vec::new();
+        for batch in read.batches.iter().filter(|b| b.wave > checkpoint_wave) {
+            write_frame(&mut buf, &encode_batch(batch));
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReadResult {
+    /// All complete, CRC-valid batches in append order.
+    pub batches: Vec<WalBatch>,
+    /// `true` if the file ended in a truncated record (which was dropped).
+    pub torn_tail: bool,
+}
+
+/// Reads every complete batch from the log at `path`.
+///
+/// A missing file reads as an empty log. A truncated final record — the
+/// signature of a crash mid-append — is reported via
+/// [`WalReadResult::torn_tail`] and otherwise ignored.
+///
+/// # Errors
+///
+/// Returns an I/O error on read failure, or [`DurabilityError::Corrupt`]
+/// if a fully-present record fails its CRC or decodes to nonsense.
+pub fn read_wal(path: &Path) -> Result<WalReadResult, DurabilityError> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReadResult {
+                batches: Vec::new(),
+                torn_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+    read_wal_bytes(&buf)
+}
+
+/// Reads every complete batch from an in-memory WAL image.
+///
+/// # Errors
+///
+/// Returns [`DurabilityError::Corrupt`] if a fully-present record fails
+/// validation.
+pub fn read_wal_bytes(buf: &[u8]) -> Result<WalReadResult, DurabilityError> {
+    let mut batches = Vec::new();
+    let mut pos = 0;
+    loop {
+        match read_frame(buf, pos)? {
+            FrameRead::Frame { payload, next } => {
+                batches.push(decode_batch(payload)?);
+                pos = next;
+            }
+            FrameRead::End => {
+                return Ok(WalReadResult {
+                    batches,
+                    torn_tail: false,
+                })
+            }
+            FrameRead::Torn => {
+                return Ok(WalReadResult {
+                    batches,
+                    torn_tail: true,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smartflux-wal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_batch(wave: u64) -> WalBatch {
+        WalBatch {
+            wave,
+            clock: wave * 10,
+            ops: vec![
+                WalOp::Put {
+                    table: "t".into(),
+                    family: "f".into(),
+                    row: "r".into(),
+                    qualifier: "q".into(),
+                    value: Value::from(wave as f64),
+                    timestamp: wave * 10,
+                },
+                WalOp::Delete {
+                    table: "t".into(),
+                    family: "f".into(),
+                    row: "r".into(),
+                    qualifier: "old".into(),
+                    timestamp: wave * 10 + 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        for wave in 1..=3 {
+            let out = wal.append(&sample_batch(wave)).unwrap();
+            assert!(out.bytes > 8);
+            assert!(out.synced);
+        }
+        // Empty batches are legal and preserve the clock.
+        wal.append(&WalBatch {
+            wave: 4,
+            clock: 41,
+            ops: Vec::new(),
+        })
+        .unwrap();
+
+        let read = read_wal(&path).unwrap();
+        assert!(!read.torn_tail);
+        assert_eq!(read.batches.len(), 4);
+        assert_eq!(read.batches[2], sample_batch(3));
+        assert_eq!(read.batches[3].clock, 41);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interval_and_never_policies_defer_sync() {
+        let path = tmp_path("sync-policy");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Interval(2)).unwrap();
+        assert!(!wal.append(&sample_batch(1)).unwrap().synced);
+        assert!(wal.append(&sample_batch(2)).unwrap().synced);
+        assert!(!wal.append(&sample_batch(3)).unwrap().synced);
+        drop(wal);
+        let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+        assert!(!wal.append(&sample_batch(4)).unwrap().synced);
+        wal.sync().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_checkpointed_prefix() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        for wave in 1..=5 {
+            wal.append(&sample_batch(wave)).unwrap();
+        }
+        wal.compact(3).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(
+            read.batches.iter().map(|b| b.wave).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // The log stays appendable after compaction.
+        wal.append(&sample_batch(6)).unwrap();
+        assert_eq!(read_wal(&path).unwrap().batches.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let read = read_wal(Path::new("/nonexistent/smartflux/wal.log")).unwrap();
+        assert!(read.batches.is_empty());
+        assert!(!read.torn_tail);
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let path = tmp_path("reset");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        wal.append(&sample_batch(1)).unwrap();
+        assert!(!wal.is_empty().unwrap());
+        wal.reset().unwrap();
+        assert!(wal.is_empty().unwrap());
+        assert!(read_wal(&path).unwrap().batches.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_in_complete_record_is_typed_corruption() {
+        let mut buf = Vec::new();
+        // A CRC-valid frame whose payload is not a valid batch.
+        write_frame(&mut buf, &[0xAB, 0xCD]);
+        assert!(matches!(
+            read_wal_bytes(&buf),
+            Err(DurabilityError::Corrupt { .. })
+        ));
+    }
+}

@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::codec;
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::tree::DecisionTree;
@@ -263,6 +264,79 @@ impl RandomForest {
             trees,
         })
     }
+
+    /// Serialises the fitted forest into a versioned binary form.
+    ///
+    /// Unlike [`to_text`](Self::to_text), every `f64` travels as its exact
+    /// IEEE-754 bit pattern, so [`from_bytes`](Self::from_bytes) restores
+    /// a forest whose predictions are bit-identical — the property the
+    /// engine checkpoint relies on for recovery determinism. Returns
+    /// `None` before fitting.
+    #[must_use]
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        if self.trees.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SFRF");
+        codec::put_u16(&mut out, 1); // format version
+        codec::put_f64(&mut out, self.threshold);
+        codec::put_u32(&mut out, self.trees.len() as u32);
+        for tree in &self.trees {
+            if !tree.write_binary(&mut out) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Reconstructs a fitted forest from its [`to_bytes`](Self::to_bytes)
+    /// form. Training hyper-parameters not needed for prediction are
+    /// restored to defaults, mirroring [`from_text`](Self::from_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Decode`] describing the first structural
+    /// problem; malformed bytes never panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MlError> {
+        let mut r = codec::Reader::new(bytes);
+        let magic = r.slice(4, "forest magic")?;
+        if magic != b"SFRF" {
+            return Err(MlError::Decode("bad forest magic".into()));
+        }
+        let version = r.u16()?;
+        if version != 1 {
+            return Err(MlError::Decode(format!(
+                "unsupported forest format version {version}"
+            )));
+        }
+        let threshold = r.f64()?;
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(MlError::Decode(format!(
+                "threshold {threshold} out of range"
+            )));
+        }
+        let n_trees = r.u32()? as usize;
+        if n_trees == 0 {
+            return Err(MlError::Decode("forest must hold at least one tree".into()));
+        }
+        let mut trees = Vec::with_capacity(n_trees.min(4096));
+        for _ in 0..n_trees {
+            trees.push(DecisionTree::read_binary(&mut r)?);
+        }
+        if !r.is_exhausted() {
+            return Err(MlError::Decode("trailing bytes after forest".into()));
+        }
+        Ok(Self {
+            n_trees,
+            max_depth: 16,
+            min_samples_split: 2,
+            max_features: None,
+            threshold,
+            seed: 0,
+            trees,
+        })
+    }
 }
 
 impl Classifier for RandomForest {
@@ -301,6 +375,10 @@ impl Classifier for RandomForest {
 
     fn predict(&self, features: &[f64]) -> bool {
         self.predict_proba(features) >= self.threshold
+    }
+
+    fn export_bytes(&self) -> Option<Vec<u8>> {
+        self.to_bytes()
     }
 }
 
@@ -404,6 +482,53 @@ mod tests {
             assert_eq!(rf.predict(&probe), restored.predict(&probe));
         }
         assert!(RandomForest::new(3).to_text().is_none());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let mut rf = RandomForest::new(9).with_threshold(0.3).with_seed(2);
+        rf.fit(&banded()).unwrap();
+        let bytes = rf.to_bytes().unwrap();
+        let restored = RandomForest::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.n_trees(), 9);
+        assert_eq!(restored.threshold(), 0.3);
+        // Bit-exact: the restored forest is the same PartialEq value up to
+        // non-serialized training hyper-parameters, so probe predictions
+        // must match everywhere.
+        for x in -10..40 {
+            let probe = [f64::from(x)];
+            assert_eq!(rf.predict_proba(&probe), restored.predict_proba(&probe));
+            assert_eq!(rf.predict(&probe), restored.predict(&probe));
+        }
+        // And the codec is stable: re-serialising reproduces the bytes.
+        assert_eq!(restored.to_bytes().unwrap(), bytes);
+        assert!(RandomForest::new(3).to_bytes().is_none());
+        // export_bytes (the Classifier hook) is the same codec.
+        assert_eq!(rf.export_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        assert!(matches!(
+            RandomForest::from_bytes(b""),
+            Err(MlError::Decode(_))
+        ));
+        assert!(RandomForest::from_bytes(b"NOPE").is_err());
+        let mut rf = RandomForest::new(3).with_seed(1);
+        rf.fit(&banded()).unwrap();
+        let good = rf.to_bytes().unwrap();
+        // Every truncation is rejected cleanly, never a panic.
+        for cut in 0..good.len() {
+            assert!(RandomForest::from_bytes(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(RandomForest::from_bytes(&extended).is_err());
+        // A version bump is refused rather than misread.
+        let mut vbumped = good;
+        vbumped[4] = 2;
+        assert!(RandomForest::from_bytes(&vbumped).is_err());
     }
 
     #[test]

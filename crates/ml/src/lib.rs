@@ -39,6 +39,7 @@
 pub mod crossval;
 pub mod metrics;
 
+mod codec;
 mod dataset;
 mod error;
 mod forest;
@@ -90,6 +91,16 @@ pub trait Classifier: Send + Sync {
     fn predict(&self, features: &[f64]) -> bool {
         self.predict_proba(features) >= 0.5
     }
+
+    /// Serialises the fitted model into a self-describing binary form
+    /// suitable for checkpoints, if the implementation supports it.
+    ///
+    /// The default returns `None` — engines checkpoint such models by
+    /// retraining deterministically from the knowledge base instead.
+    /// [`RandomForest`] overrides this with its exact binary codec.
+    fn export_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 impl Classifier for Box<dyn Classifier> {
@@ -103,5 +114,9 @@ impl Classifier for Box<dyn Classifier> {
 
     fn predict(&self, features: &[f64]) -> bool {
         (**self).predict(features)
+    }
+
+    fn export_bytes(&self) -> Option<Vec<u8>> {
+        (**self).export_bytes()
     }
 }

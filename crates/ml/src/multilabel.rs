@@ -1,5 +1,6 @@
 //! Multi-label classification via binary relevance (the MEKA role).
 
+use crate::codec;
 use crate::dataset::MultiLabelDataset;
 use crate::error::MlError;
 use crate::Classifier;
@@ -169,6 +170,68 @@ impl BinaryRelevance<crate::RandomForest> {
             models,
         })
     }
+
+    /// Serialises a fitted Random-Forest multi-label model into a
+    /// versioned binary form (one length-prefixed forest blob per label),
+    /// preserving exact `f64` bit patterns. Returns `None` before fitting.
+    #[must_use]
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        if self.models.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SFML");
+        codec::put_u16(&mut out, 1); // format version
+        codec::put_u32(&mut out, self.models.len() as u32);
+        for model in &self.models {
+            let blob = model.to_bytes()?;
+            codec::put_u32(&mut out, blob.len() as u32);
+            out.extend_from_slice(&blob);
+        }
+        Some(out)
+    }
+
+    /// Reconstructs a fitted multi-label model from its
+    /// [`to_bytes`](Self::to_bytes) form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Decode`] describing the first structural
+    /// problem; malformed bytes never panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MlError> {
+        let mut r = codec::Reader::new(bytes);
+        let magic = r.slice(4, "multilabel magic")?;
+        if magic != b"SFML" {
+            return Err(MlError::Decode("bad multilabel magic".into()));
+        }
+        let version = r.u16()?;
+        if version != 1 {
+            return Err(MlError::Decode(format!(
+                "unsupported multilabel format version {version}"
+            )));
+        }
+        let labels = r.u32()? as usize;
+        if labels == 0 {
+            return Err(MlError::Decode(
+                "multilabel model must hold at least one label".into(),
+            ));
+        }
+        let mut models = Vec::with_capacity(labels.min(4096));
+        for _ in 0..labels {
+            let len = r.u32()? as usize;
+            let blob = r.slice(len, "forest blob")?;
+            models.push(crate::RandomForest::from_bytes(blob)?);
+        }
+        if !r.is_exhausted() {
+            return Err(MlError::Decode(
+                "trailing bytes after multilabel model".into(),
+            ));
+        }
+        Ok(Self {
+            template: crate::RandomForest::new(models.first().map_or(1, |m| m.n_trees())),
+            models,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +291,41 @@ mod tests {
         }
         let unfitted: BinaryRelevance<RandomForest> = BinaryRelevance::new(RandomForest::new(3));
         assert!(unfitted.to_text().is_none());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_predictions() {
+        let mut m = BinaryRelevance::new(RandomForest::new(7).with_seed(5));
+        m.fit(&data()).unwrap();
+        let bytes = m.to_bytes().unwrap();
+        let restored = BinaryRelevance::<RandomForest>::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.n_labels(), 3);
+        for probe in [[0.0, 0.0], [11.0, 4.0], [6.0, 2.0]] {
+            assert_eq!(m.predict(&probe), restored.predict(&probe));
+            assert_eq!(m.predict_proba(&probe), restored.predict_proba(&probe));
+        }
+        assert_eq!(restored.to_bytes().unwrap(), bytes);
+        let unfitted: BinaryRelevance<RandomForest> = BinaryRelevance::new(RandomForest::new(3));
+        assert!(unfitted.to_bytes().is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        let mut m = BinaryRelevance::new(RandomForest::new(3).with_seed(9));
+        m.fit(&data()).unwrap();
+        let good = m.to_bytes().unwrap();
+
+        assert!(BinaryRelevance::<RandomForest>::from_bytes(&[]).is_err());
+        assert!(BinaryRelevance::<RandomForest>::from_bytes(b"XXML").is_err());
+        for cut in 0..good.len() {
+            assert!(BinaryRelevance::<RandomForest>::from_bytes(&good[..cut]).is_err());
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(BinaryRelevance::<RandomForest>::from_bytes(&trailing).is_err());
+        let mut versioned = good;
+        versioned[4] = 9;
+        assert!(BinaryRelevance::<RandomForest>::from_bytes(&versioned).is_err());
     }
 
     #[test]

@@ -271,6 +271,16 @@ pub mod names {
     pub const STORE_WRITE_LATENCY: &str = "store.write";
     /// Journal sink failures (failed record writes or flushes).
     pub const JOURNAL_ERRORS: &str = "telemetry.journal_errors";
+    /// Bytes appended to the write-ahead log (frame headers included).
+    pub const WAL_BYTES: &str = "durability.wal_bytes";
+    /// Commit records appended to the write-ahead log (one per wave).
+    pub const WAL_RECORDS: &str = "durability.wal_records";
+    /// Checkpoints written (each compacts the WAL prefix it covers).
+    pub const CHECKPOINTS: &str = "durability.checkpoints";
+    /// Successful engine/store recoveries from a durability directory.
+    pub const RECOVERIES: &str = "durability.recoveries";
+    /// Latency of WAL fsyncs.
+    pub const FSYNC_LATENCY: &str = "durability.fsync";
 }
 
 #[cfg(test)]

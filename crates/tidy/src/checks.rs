@@ -110,7 +110,7 @@ impl fmt::Display for Diagnostic {
 /// Internal crates (prefix match for `smartflux`) and their permitted
 /// internal dependencies — the documented architecture. Crates absent from
 /// this table may depend on every internal crate (leaf consumers).
-const LAYERING: [(&str, &[&str]); 9] = [
+const LAYERING: [(&str, &[&str]); 10] = [
     ("smartflux-telemetry", &[]),
     ("smartflux-datastore", &[]),
     ("smartflux-ml", &[]),
@@ -120,12 +120,17 @@ const LAYERING: [(&str, &[&str]); 9] = [
         &["smartflux-datastore", "smartflux-telemetry"],
     ),
     (
+        "smartflux-durability",
+        &["smartflux-datastore", "smartflux-telemetry"],
+    ),
+    (
         "smartflux",
         &[
             "smartflux-datastore",
             "smartflux-wms",
             "smartflux-ml",
             "smartflux-telemetry",
+            "smartflux-durability",
         ],
     ),
     // The root package, workloads and bench may depend on everything.
@@ -233,11 +238,12 @@ pub fn check_panic(file: &SourceFile) -> Vec<Diagnostic> {
 
 /// Crates that must use the vendored `parking_lot` instead of `std::sync`
 /// locks.
-pub const PARKING_LOT_CRATES: [&str; 4] = [
+pub const PARKING_LOT_CRATES: [&str; 5] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-telemetry",
+    "smartflux-durability",
 ];
 
 /// Flags `std::sync::Mutex`/`RwLock` usage in parking_lot crates.
@@ -404,7 +410,12 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 }
 
 /// Crates whose telemetry call sites must be guard-checked.
-pub const TELEMETRY_GUARD_CRATES: [&str; 3] = ["smartflux", "smartflux-wms", "smartflux-datastore"];
+pub const TELEMETRY_GUARD_CRATES: [&str; 4] = [
+    "smartflux",
+    "smartflux-wms",
+    "smartflux-datastore",
+    "smartflux-durability",
+];
 
 const METRIC_TOKENS: [&str; 3] = [".counter(", ".histogram(", ".gauge("];
 
@@ -531,7 +542,7 @@ pub fn check_time(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 
 /// Crates whose `src/lib.rs` must carry `#![warn(missing_docs)]` (every
 /// internal crate except the bench harness opts in).
-pub const MISSING_DOCS_OPT_IN: [&str; 7] = [
+pub const MISSING_DOCS_OPT_IN: [&str; 8] = [
     "smartflux",
     "smartflux-datastore",
     "smartflux-wms",
@@ -539,6 +550,7 @@ pub const MISSING_DOCS_OPT_IN: [&str; 7] = [
     "smartflux-telemetry",
     "smartflux-workloads",
     "smartflux-tidy",
+    "smartflux-durability",
 ];
 
 /// Tabs, trailing whitespace, `dbg!`, `TODO`/`FIXME` without an issue

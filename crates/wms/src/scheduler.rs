@@ -223,6 +223,23 @@ impl Scheduler {
         self.next_wave
     }
 
+    /// Repositions the scheduler to continue at `next_wave`, marking every
+    /// step as having executed before.
+    ///
+    /// Intended for crash recovery: a SmartFlux run always starts with a
+    /// synchronous training phase, so by the time a checkpoint exists every
+    /// step has completed at least once and no step needs the
+    /// "never-executed predecessor" deferral again. Wave numbering resumes
+    /// exactly where the checkpointed run left off, which keeps wave-indexed
+    /// decisions (retraining intervals, checkpoint cadence) aligned with the
+    /// uninterrupted run.
+    pub fn resume(&mut self, next_wave: WaveId) {
+        self.next_wave = next_wave.max(1);
+        for executed in &mut self.ever_executed {
+            *executed = true;
+        }
+    }
+
     /// Runs a single wave.
     ///
     /// # Errors
@@ -1007,6 +1024,24 @@ mod tests {
         let snap = s.telemetry().snapshot();
         assert!(snap.histogram(names::WAVE_LATENCY).is_none());
         assert_eq!(snap.counter(names::STEPS_EXECUTED), 0);
+    }
+
+    #[test]
+    fn resume_repositions_wave_and_clears_deferrals() {
+        // A freshly-built pipeline resumed at wave 42 runs every step
+        // immediately (no deferral for the downstream step) and numbers the
+        // wave as the checkpointed run would have.
+        let (mut s, a, c) = pipeline(Box::new(SynchronousPolicy));
+        s.resume(42);
+        assert_eq!(s.next_wave(), 42);
+        let o = s.run_wave().unwrap();
+        assert_eq!(o.wave, 42);
+        assert!(o.did_execute(a) && o.did_execute(c));
+        assert!(o.deferred.is_empty());
+        // Resume clamps to wave 1 — wave numbering starts at 1.
+        let (mut s2, ..) = pipeline(Box::new(SynchronousPolicy));
+        s2.resume(0);
+        assert_eq!(s2.next_wave(), 1);
     }
 
     #[test]

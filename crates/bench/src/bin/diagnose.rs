@@ -10,10 +10,11 @@
 //! Pass `--json` for machine-readable output: one JSON object per workload
 //! per line, carrying the run summary, the model quality, a `durability`
 //! block (WAL bytes/records, checkpoints and recoveries observed while the
-//! run journals through a write-ahead log in a scratch directory), the full
-//! telemetry snapshot (counters + latency histograms) and — with
-//! `--journal <dir>` — the path of the wave-decision journal written for
-//! the run.
+//! run journals through a write-ahead log in a scratch directory), a
+//! `store` block (read/write counts, shard count and contention, quiesce
+//! count), the full telemetry snapshot (counters + latency histograms) and
+//! — with `--journal <dir>` — the path of the wave-decision journal
+//! written for the run.
 
 use std::path::PathBuf;
 
@@ -121,10 +122,19 @@ fn run_json(args: &Args) {
             snapshot.counter(names::CHECKPOINTS),
             snapshot.counter(names::RECOVERIES),
         );
+        let store_json = format!(
+            "{{\"reads\":{},\"writes\":{},\"shards\":{},\"shard_read_contention\":{},\"shard_write_contention\":{},\"quiesces\":{}}}",
+            snapshot.counter(names::STORE_READS),
+            snapshot.counter(names::STORE_WRITES),
+            snapshot.gauge(names::STORE_SHARDS),
+            snapshot.gauge(names::STORE_SHARD_READ_CONTENTION),
+            snapshot.gauge(names::STORE_SHARD_WRITE_CONTENTION),
+            snapshot.gauge(names::STORE_QUIESCES),
+        );
         println!(
             "{{\"workload\":{},\"bound\":{},\"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
              \"smartflux\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
-             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"durability\":{},\"telemetry\":{}}}",
+             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"durability\":{},\"store\":{},\"telemetry\":{}}}",
             json_string(wl.id()),
             args.bound,
             oracle.normalized_executions(),
@@ -137,6 +147,7 @@ fn run_json(args: &Args) {
             journal_json,
             fault_json,
             durability_json,
+            store_json,
             snapshot.to_json(),
         );
         let _ = std::fs::remove_dir_all(&wal_dir);

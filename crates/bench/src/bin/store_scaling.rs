@@ -1,0 +1,5 @@
+//! Store-scaling micro-bench: sharded vs single-lock store throughput.
+
+fn main() {
+    smartflux_bench::exp::store_scaling::run();
+}

@@ -270,5 +270,6 @@ pub mod exp {
     pub mod motivating;
     pub mod overhead;
     pub mod roc;
+    pub mod store_scaling;
     pub mod wal_overhead;
 }

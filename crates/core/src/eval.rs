@@ -406,6 +406,7 @@ pub fn evaluate<F: WorkloadFactory>(
         });
     }
 
+    crate::session::publish_shard_stats(&telemetry, &adapt_store);
     telemetry.flush().map_err(CoreError::Journal)?;
     Ok(EvalReport {
         workload: factory.name().to_owned(),

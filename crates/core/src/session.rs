@@ -64,6 +64,7 @@ pub struct SmartFluxSession {
     scheduler: Scheduler,
     engine: SharedEngine,
     telemetry: Telemetry,
+    store: DataStore,
 }
 
 impl SmartFluxSession {
@@ -90,13 +91,16 @@ impl SmartFluxSession {
         let mut engine = QodEngine::from_workflow(&workflow, store.clone(), config)?;
         engine.set_telemetry(telemetry.clone());
         let shared = SharedEngine::new(engine);
-        let mut scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        let mut scheduler = Scheduler::new(workflow, store.clone(), Box::new(shared.clone()));
         scheduler.set_telemetry(telemetry.clone());
-        Ok(Self {
+        let session = Self {
             scheduler,
             engine: shared,
             telemetry,
-        })
+            store,
+        };
+        session.publish_shard_stats();
+        Ok(session)
     }
 
     /// Rebuilds a session from the durability checkpoint configured in
@@ -126,14 +130,24 @@ impl SmartFluxSession {
             telemetry.counter(names::RECOVERIES).incr();
         }
         let shared = SharedEngine::new(engine);
-        let mut scheduler = Scheduler::new(workflow, store, Box::new(shared.clone()));
+        let mut scheduler = Scheduler::new(workflow, store.clone(), Box::new(shared.clone()));
         scheduler.set_telemetry(telemetry.clone());
         scheduler.resume(next_wave);
-        Ok(Self {
+        let session = Self {
             scheduler,
             engine: shared,
             telemetry,
-        })
+            store,
+        };
+        session.publish_shard_stats();
+        Ok(session)
+    }
+
+    /// Publishes the store's shard-level concurrency counters as gauges.
+    ///
+    /// Called at construction and after every wave.
+    fn publish_shard_stats(&self) {
+        publish_shard_stats(&self.telemetry, &self.store);
     }
 
     /// Surfaces a durability failure recorded by the engine at the last
@@ -182,6 +196,7 @@ impl SmartFluxSession {
     pub fn run_wave(&mut self) -> Result<WaveOutcome, CoreError> {
         let outcome = self.scheduler.run_wave()?;
         self.check_durability()?;
+        self.publish_shard_stats();
         Ok(outcome)
     }
 
@@ -211,6 +226,7 @@ impl SmartFluxSession {
     pub fn run_wave_parallel(&mut self) -> Result<WaveOutcome, CoreError> {
         let outcome = self.scheduler.run_wave_parallel()?;
         self.check_durability()?;
+        self.publish_shard_stats();
         Ok(outcome)
     }
 
@@ -333,6 +349,31 @@ pub(crate) fn telemetry_for(
     Ok(telemetry)
 }
 
+/// Publishes a store's [`ShardStats`] as `store.*` gauges — gauges (not
+/// counters) because the stats are already cumulative. Shared by the
+/// session (at construction and every wave boundary) and the evaluation
+/// harness (at the end of a run).
+///
+/// [`ShardStats`]: smartflux_datastore::ShardStats
+pub(crate) fn publish_shard_stats(telemetry: &Telemetry, store: &DataStore) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let stats = store.shard_stats();
+    telemetry
+        .gauge(names::STORE_SHARDS)
+        .set(stats.shards as i64);
+    telemetry
+        .gauge(names::STORE_SHARD_READ_CONTENTION)
+        .set(i64::try_from(stats.read_contention).unwrap_or(i64::MAX));
+    telemetry
+        .gauge(names::STORE_SHARD_WRITE_CONTENTION)
+        .set(i64::try_from(stats.write_contention).unwrap_or(i64::MAX));
+    telemetry
+        .gauge(names::STORE_QUIESCES)
+        .set(i64::try_from(stats.quiesces).unwrap_or(i64::MAX));
+}
+
 impl Drop for SmartFluxSession {
     fn drop(&mut self) {
         // Journal sinks buffer; make sure records reach disk even when the
@@ -433,6 +474,45 @@ mod tests {
             .iter()
             .filter(|d| !d.training)
             .all(|d| d.errors.is_empty()));
+    }
+
+    #[test]
+    fn shard_gauges_are_published_with_telemetry_on() {
+        let store = DataStore::new();
+        let shard_count = store.shard_count() as i64;
+        let raw = ContainerRef::family("t", "raw");
+        let out = ContainerRef::family("t", "out");
+        store.ensure_container(&raw).unwrap();
+        store.ensure_container(&out).unwrap();
+        let mut g = GraphBuilder::new("demo");
+        let feed = g.add_step("feed");
+        let mut wf = Workflow::new(g.build().unwrap());
+        wf.bind(
+            feed,
+            FnStep::new(|ctx: &StepContext| {
+                ctx.put("t", "raw", "r", "v", Value::from(ctx.wave() as f64))?;
+                Ok(())
+            }),
+        )
+        .source()
+        .writes(raw)
+        .error_bound(0.1);
+        let config = EngineConfig::new()
+            .with_training_waves(5)
+            .with_telemetry(true)
+            .with_seed(1);
+        let mut s = SmartFluxSession::new(wf, store, config).unwrap();
+        s.run_waves(3).unwrap();
+        let snap = s.telemetry().snapshot();
+        assert_eq!(
+            snap.gauge(smartflux_telemetry::names::STORE_SHARDS),
+            shard_count
+        );
+        // Single-threaded waves never contend on a shard lock.
+        assert_eq!(
+            snap.gauge(smartflux_telemetry::names::STORE_SHARD_WRITE_CONTENTION),
+            0
+        );
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //! interception point that replaces the paper's three options (adapted client
 //! libraries, adapted WMS shared libraries, HBase co-processors).
 //!
+//! # Concurrency
+//!
+//! The store is hash-sharded by container: each `(table, family)` pair maps
+//! to one of a fixed set of shards, each behind its own reader-writer lock,
+//! with a single atomic logical clock ordering all writes. [`ShardPolicy`]
+//! selects the partitioning ([`ShardPolicy::Single`] reproduces a global
+//! lock for A/B comparison) and [`DataStore::shard_stats`] exposes
+//! contention counters. See `DESIGN.md` §11 for the full model.
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +65,7 @@ mod container;
 mod error;
 mod observer;
 mod scan;
+mod shard;
 mod snapshot;
 mod state;
 mod store;
@@ -69,6 +79,7 @@ pub use observer::{
     ObserverHandle, OpKind, OpObserver, OpObserverHandle, WriteEvent, WriteKind, WriteObserver,
 };
 pub use scan::{RowScan, ScanFilter};
+pub use shard::{ShardPolicy, ShardStats, AUTO_SHARDS};
 pub use snapshot::{SlotChange, Snapshot, SnapshotDiff};
 pub use state::{CellState, FamilyState, StoreState, TableState};
 pub use store::DataStore;

@@ -81,10 +81,15 @@ where
 pub struct ObserverHandle(pub(crate) u64);
 
 /// Internal registry of observers.
+///
+/// The dispatch list is kept pre-materialized as a shared `Arc` slice,
+/// rebuilt on (un)registration, so the per-write hot path clones one `Arc`
+/// under the bus read guard instead of allocating a fresh `Vec`.
 #[derive(Default)]
 pub(crate) struct ObserverBus {
     next_id: u64,
     observers: Vec<(u64, Arc<dyn WriteObserver>)>,
+    cached: Arc<Vec<Arc<dyn WriteObserver>>>,
 }
 
 impl ObserverBus {
@@ -92,21 +97,30 @@ impl ObserverBus {
         let id = self.next_id;
         self.next_id += 1;
         self.observers.push((id, observer));
+        self.rebuild();
         ObserverHandle(id)
     }
 
     pub(crate) fn unregister(&mut self, handle: ObserverHandle) -> bool {
         let before = self.observers.len();
         self.observers.retain(|(id, _)| *id != handle.0);
-        self.observers.len() != before
+        let removed = self.observers.len() != before;
+        if removed {
+            self.rebuild();
+        }
+        removed
     }
 
-    pub(crate) fn snapshot(&self) -> Vec<Arc<dyn WriteObserver>> {
-        self.observers.iter().map(|(_, o)| Arc::clone(o)).collect()
+    fn rebuild(&mut self) {
+        self.cached = Arc::new(self.observers.iter().map(|(_, o)| Arc::clone(o)).collect());
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
-        self.observers.is_empty()
+    pub(crate) fn snapshot(&self) -> Arc<Vec<Arc<dyn WriteObserver>>> {
+        Arc::clone(&self.cached)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.observers.len()
     }
 }
 
@@ -215,10 +229,13 @@ where
 pub struct OpObserverHandle(pub(crate) u64);
 
 /// Internal registry of op observers.
+///
+/// Dispatch list pre-materialized exactly like [`ObserverBus`]'s.
 #[derive(Default)]
 pub(crate) struct OpObserverBus {
     next_id: u64,
     observers: Vec<(u64, Arc<dyn OpObserver>)>,
+    cached: Arc<Vec<Arc<dyn OpObserver>>>,
 }
 
 impl OpObserverBus {
@@ -226,21 +243,30 @@ impl OpObserverBus {
         let id = self.next_id;
         self.next_id += 1;
         self.observers.push((id, observer));
+        self.rebuild();
         OpObserverHandle(id)
     }
 
     pub(crate) fn unregister(&mut self, handle: OpObserverHandle) -> bool {
         let before = self.observers.len();
         self.observers.retain(|(id, _)| *id != handle.0);
-        self.observers.len() != before
+        let removed = self.observers.len() != before;
+        if removed {
+            self.rebuild();
+        }
+        removed
+    }
+
+    fn rebuild(&mut self) {
+        self.cached = Arc::new(self.observers.iter().map(|(_, o)| Arc::clone(o)).collect());
     }
 
     pub(crate) fn len(&self) -> usize {
         self.observers.len()
     }
 
-    pub(crate) fn snapshot(&self) -> Vec<Arc<dyn OpObserver>> {
-        self.observers.iter().map(|(_, o)| Arc::clone(o)).collect()
+    pub(crate) fn snapshot(&self) -> Arc<Vec<Arc<dyn OpObserver>>> {
+        Arc::clone(&self.cached)
     }
 }
 
@@ -282,11 +308,13 @@ mod tests {
     #[test]
     fn bus_register_unregister() {
         let mut bus = ObserverBus::default();
-        assert!(bus.is_empty());
+        assert_eq!(bus.len(), 0);
         let h = bus.register(Arc::new(|_: &WriteEvent| {}));
-        assert!(!bus.is_empty());
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus.snapshot().len(), 1);
         assert!(bus.unregister(h));
         assert!(!bus.unregister(h));
-        assert!(bus.is_empty());
+        assert_eq!(bus.len(), 0);
+        assert!(bus.snapshot().is_empty());
     }
 }

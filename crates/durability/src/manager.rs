@@ -20,10 +20,35 @@ pub const WAL_FILE: &str = "wal.log";
 /// Encoding at observation time keeps the write hot path allocation-free:
 /// the observer appends ~40 bytes to one growing buffer instead of cloning
 /// four strings and a value per mutation.
+///
+/// Alongside the bytes, the buffer records each op's `(timestamp, start
+/// offset)`. Observer callbacks run outside the store's shard guards, so
+/// under a parallel wave two writes to the same cell can reach this buffer
+/// with their encodings swapped relative to their store timestamps; replay
+/// applies ops in buffer order, which would then resurrect the older
+/// value. [`commit_wave`](DurabilityManager::commit_wave) restores
+/// timestamp order before the batch hits the log.
 #[derive(Debug, Default)]
 struct OpBuffer {
     bytes: Vec<u8>,
-    count: u32,
+    ops: Vec<(u64, usize)>,
+}
+
+/// Reorders a captured batch into timestamp order.
+///
+/// `ops` holds `(timestamp, start offset)` per op; an op's encoding ends
+/// where the next one starts. Timestamps are unique (one logical-clock
+/// tick per mutation), so the order is total.
+fn sort_batch(bytes: &[u8], ops: &[(u64, usize)]) -> Vec<u8> {
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by_key(|&i| ops[i].0);
+    let mut sorted = Vec::with_capacity(bytes.len());
+    for &i in &order {
+        let start = ops[i].1;
+        let end = ops.get(i + 1).map_or(bytes.len(), |op| op.1);
+        sorted.extend_from_slice(&bytes[start..end]);
+    }
+    sorted
 }
 
 /// Buffers store mutations between wave boundaries and owns the WAL and
@@ -83,6 +108,8 @@ impl DurabilityManager {
         let fallback = smartflux_datastore::Value::I64(0);
         store.register_observer(Arc::new(move |event: &WriteEvent| {
             let mut buf = buffer.lock();
+            let start = buf.bytes.len();
+            buf.ops.push((event.timestamp, start));
             match event.kind {
                 WriteKind::Put => encode_op_put(
                     &mut buf.bytes,
@@ -104,14 +131,13 @@ impl DurabilityManager {
                     event.timestamp,
                 ),
             }
-            buf.count += 1;
         }))
     }
 
     /// Number of buffered, not-yet-committed operations.
     #[must_use]
     pub fn pending_ops(&self) -> usize {
-        self.buffer.lock().count as usize
+        self.buffer.lock().ops.len()
     }
 
     /// Group-commits all buffered operations as wave `wave`'s batch.
@@ -119,7 +145,9 @@ impl DurabilityManager {
     /// `clock` must be the store's logical clock at the wave boundary;
     /// replay restores it after applying the batch. Empty batches are
     /// committed too, so clock advances from no-op deletes survive a
-    /// crash.
+    /// crash. Ops captured out of timestamp order (possible under a
+    /// parallel wave on the sharded store) are re-sorted so replay applies
+    /// them as the store did.
     ///
     /// # Errors
     ///
@@ -128,7 +156,13 @@ impl DurabilityManager {
     /// process should fall back to non-durable operation, not retry into
     /// a misordered log.
     pub fn commit_wave(&self, wave: u64, clock: u64) -> Result<(), DurabilityError> {
-        let OpBuffer { bytes, count } = std::mem::take(&mut *self.buffer.lock());
+        let OpBuffer { bytes, ops } = std::mem::take(&mut *self.buffer.lock());
+        let bytes = if ops.windows(2).all(|pair| pair[0].0 <= pair[1].0) {
+            bytes
+        } else {
+            sort_batch(&bytes, &ops)
+        };
+        let count = u32::try_from(ops.len()).unwrap_or(u32::MAX);
         let outcome = self.wal.lock().append_encoded(wave, clock, count, &bytes)?;
         if self.telemetry.is_enabled() {
             self.telemetry.counter(names::WAL_RECORDS).incr();
@@ -175,10 +209,15 @@ impl DurabilityManager {
         store: &DataStore,
         engine: Vec<u8>,
     ) -> Result<(), DurabilityError> {
+        // One export only: `export_state` quiesces writers and captures
+        // state and clock as a single consistent cut. Reading the clock
+        // separately could pair a newer clock with older data under
+        // concurrent writers.
+        let state = store.export_state();
         let checkpoint = Checkpoint {
             wave,
-            clock: store.clock(),
-            store: store.export_state(),
+            clock: state.clock,
+            store: state,
             engine,
         };
         write_checkpoint(self.options.dir(), &checkpoint)?;
@@ -233,6 +272,24 @@ mod tests {
         s.create_table("t").unwrap();
         s.create_family("t", "f").unwrap();
         s
+    }
+
+    #[test]
+    fn sort_batch_restores_timestamp_order() {
+        // Three ops captured in order ts=3, ts=1, ts=2 with distinct
+        // encodings of varying length.
+        let mut bytes = Vec::new();
+        let mut ops = Vec::new();
+        for (ts, payload) in [(3u64, &b"ccc"[..]), (1, b"a"), (2, b"bb")] {
+            ops.push((ts, bytes.len()));
+            bytes.extend_from_slice(payload);
+        }
+        assert_eq!(sort_batch(&bytes, &ops), b"abbccc");
+        // An already-ordered batch is the identity.
+        let ordered = vec![(1u64, 0usize), (2, 1), (3, 3)];
+        assert_eq!(sort_batch(b"abbccc", &ordered), b"abbccc");
+        // Empty batch.
+        assert!(sort_batch(&[], &[]).is_empty());
     }
 
     #[test]

@@ -37,7 +37,11 @@ fn replay_error(e: &StoreError) -> DurabilityError {
 ///
 /// - The checkpoint (if any) seeds the store with its exact contents and
 ///   logical clock; WAL batches with `wave <= checkpoint_wave` were
-///   compacted away or are skipped.
+///   compacted away or are skipped. Within a replayed batch, ops whose
+///   timestamp is at or below the checkpoint's clock are skipped too: a
+///   checkpoint taken *mid-wave* under concurrent writers is a consistent
+///   cut that already contains them, and re-applying a put would duplicate
+///   a cell version.
 /// - Each remaining batch is applied atomically: its operations replay
 ///   with their original timestamps, then the clock is set to the batch's
 ///   committed clock. Containers named by ops are created on demand — a
@@ -65,6 +69,9 @@ pub fn recover_store(dir: &Path) -> Result<RecoveredStore, DurabilityError> {
         None => (DataStore::new(), 0, Vec::new()),
     };
 
+    // The checkpoint's clock is the consistent cut: every op at or below
+    // it is already reflected in the checkpointed state.
+    let cut = store.clock();
     let wal = read_wal(&dir.join(WAL_FILE))?;
     let mut last_wave = checkpoint_wave;
     for batch in wal.batches.iter().filter(|b| b.wave > checkpoint_wave) {
@@ -78,6 +85,9 @@ pub fn recover_store(dir: &Path) -> Result<RecoveredStore, DurabilityError> {
                     value,
                     timestamp,
                 } => {
+                    if *timestamp <= cut {
+                        continue;
+                    }
                     store
                         .ensure_container(&ContainerRef::family(table, family))
                         .map_err(|e| replay_error(&e))?;
@@ -90,8 +100,11 @@ pub fn recover_store(dir: &Path) -> Result<RecoveredStore, DurabilityError> {
                     family,
                     row,
                     qualifier,
-                    ..
+                    timestamp,
                 } => {
+                    if *timestamp <= cut {
+                        continue;
+                    }
                     store
                         .ensure_container(&ContainerRef::family(table, family))
                         .map_err(|e| replay_error(&e))?;

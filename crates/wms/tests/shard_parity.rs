@@ -1,0 +1,203 @@
+//! Shard-policy parity for wave execution: the LRB-style pipeline must
+//! behave identically — decision for decision, cell for cell — whether
+//! its store runs on the seed's single global lock (`ShardPolicy::Single`)
+//! or on the sharded layout, and whether waves run sequentially or via
+//! `run_wave_parallel`.
+//!
+//! Two tiers of equality apply. Sequential runs are fully deterministic,
+//! so Single-vs-sharded sequential runs must agree on the *entire*
+//! exported state, per-cell timestamps and logical clock included.
+//! Parallel waves may interleave sibling steps differently between runs,
+//! so there the bar is: identical wave outcomes, identical final values,
+//! identical clock.
+
+use smartflux_datastore::{ContainerRef, DataStore, ShardPolicy, Snapshot, Value};
+use smartflux_wms::{
+    FnStep, GraphBuilder, Scheduler, StepContext, StepId, TriggerPolicy, Workflow,
+};
+
+/// Waves of the parity runs (matches the chaos-test acceptance runs).
+const WAVES: u64 = 200;
+
+/// Container families written by the pipeline, in step order.
+const FAMILIES: [&str; 5] = ["feed", "seg", "tolls", "acc", "report"];
+
+/// splitmix64-style mixer for the deterministic skip policy.
+fn mix(wave: u64, idx: u64) -> u64 {
+    let mut z = wave
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic skip policy: decisions depend only on `(wave, step)`, so
+/// every scheduler in a comparison sees identical choices.
+struct HashSkipPolicy;
+
+impl TriggerPolicy for HashSkipPolicy {
+    fn should_trigger(&mut self, wave: u64, step: StepId, workflow: &Workflow) -> bool {
+        if workflow.graph().predecessors(step).is_empty() {
+            return true; // sources always run
+        }
+        !mix(wave, step.index() as u64).is_multiple_of(3)
+    }
+}
+
+/// Builds the LRB-inspired pipeline `feed → {seg, tolls, acc} → report`
+/// on a store with the given shard policy.
+fn lrb_scheduler_on(policy: ShardPolicy) -> Scheduler {
+    let store = DataStore::with_shard_policy(policy);
+    store.create_table("lrb").unwrap();
+    for family in FAMILIES {
+        store.create_family("lrb", family).unwrap();
+    }
+
+    let mut g = GraphBuilder::new("lrb");
+    let feed = g.add_step("feed");
+    let seg = g.add_step("seg");
+    let tolls = g.add_step("tolls");
+    let acc = g.add_step("acc");
+    let report = g.add_step("report");
+    for branch in [seg, tolls, acc] {
+        g.add_edge(feed, branch).unwrap();
+        g.add_edge(branch, report).unwrap();
+    }
+    let mut wf = Workflow::new(g.build().unwrap());
+
+    wf.bind(
+        feed,
+        FnStep::new(|ctx: &StepContext| {
+            ctx.put("lrb", "feed", "r", "v", Value::from(ctx.wave() as f64))?;
+            Ok(())
+        }),
+    )
+    .source();
+
+    type Branch = (StepId, fn(f64) -> f64);
+    let branches: [Branch; 3] = [
+        (seg, |v| v * 2.0),
+        (tolls, |v| v + 10.0),
+        (acc, |v| v * 0.5),
+    ];
+    for (idx, (id, f)) in branches.into_iter().enumerate() {
+        let family = FAMILIES[idx + 1];
+        wf.bind(
+            id,
+            FnStep::new(move |ctx: &StepContext| {
+                let v = ctx.get_f64("lrb", "feed", "r", "v", 0.0)?;
+                ctx.put("lrb", family, "r", "v", Value::from(f(v)))?;
+                Ok(())
+            }),
+        );
+    }
+
+    wf.bind(
+        report,
+        FnStep::new(|ctx: &StepContext| {
+            let mut sum = 0.0;
+            for family in ["seg", "tolls", "acc"] {
+                sum += ctx.get_f64("lrb", family, "r", "v", 0.0)?;
+            }
+            ctx.put("lrb", "report", "r", "v", Value::from(sum))?;
+            Ok(())
+        }),
+    );
+
+    Scheduler::new(wf, store, Box::new(HashSkipPolicy))
+}
+
+/// Snapshots every pipeline family, for whole-store value comparisons.
+fn store_state(sched: &Scheduler) -> Vec<Snapshot> {
+    FAMILIES
+        .iter()
+        .map(|family| {
+            sched
+                .store()
+                .snapshot(&ContainerRef::family("lrb", *family))
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn sequential_waves_are_export_identical_across_shard_policies() {
+    // Sequential execution is fully deterministic, so every shard policy
+    // must produce the same exported state down to cell timestamps.
+    let mut single = lrb_scheduler_on(ShardPolicy::Single);
+    let mut fixed = lrb_scheduler_on(ShardPolicy::Fixed(4));
+    let mut auto = lrb_scheduler_on(ShardPolicy::Auto);
+
+    let single_outcomes = single.run_waves(WAVES).unwrap();
+    let fixed_outcomes = fixed.run_waves(WAVES).unwrap();
+    let auto_outcomes = auto.run_waves(WAVES).unwrap();
+
+    assert_eq!(single_outcomes, fixed_outcomes);
+    assert_eq!(single_outcomes, auto_outcomes);
+
+    let baseline = single.store().export_state();
+    assert_eq!(baseline, fixed.store().export_state());
+    assert_eq!(baseline, auto.store().export_state());
+    assert_eq!(single.store().clock(), auto.store().clock());
+    assert!(baseline.clock > 0, "the run wrote something");
+}
+
+#[test]
+fn parallel_waves_on_a_sharded_store_match_the_sequential_single_run() {
+    // The satellite acceptance run: 200 waves, `run_wave_parallel` against
+    // the sharded store, decision-for-decision and value-for-value
+    // identical to the seed configuration (sequential, single lock).
+    let mut seq = lrb_scheduler_on(ShardPolicy::Single);
+    let mut par = lrb_scheduler_on(ShardPolicy::Auto);
+
+    for wave in 0..WAVES {
+        let a = seq.run_wave().unwrap();
+        let b = par.run_wave_parallel().unwrap();
+        assert_eq!(a, b, "decisions diverged at wave {wave}");
+    }
+
+    // Values agree; timestamps may not (parallel siblings interleave), so
+    // compare snapshots rather than the full export.
+    assert_eq!(store_state(&seq), store_state(&par));
+
+    // Both runs issued the same number of puts, so the clocks agree even
+    // though individual timestamps may differ.
+    assert_eq!(seq.store().clock(), par.store().clock());
+
+    // Per-step tallies agree.
+    for family in FAMILIES {
+        let s = seq.workflow().graph().step_id(family).unwrap();
+        let p = par.workflow().graph().step_id(family).unwrap();
+        assert_eq!(
+            seq.stats().executions(s),
+            par.stats().executions(p),
+            "executions of `{family}`"
+        );
+        assert_eq!(
+            seq.stats().skips(s),
+            par.stats().skips(p),
+            "skips of `{family}`"
+        );
+    }
+    assert_eq!(seq.stats().waves(), WAVES);
+    assert_eq!(par.stats().waves(), WAVES);
+    assert_eq!(par.stats().waves_aborted(), 0);
+}
+
+#[test]
+fn parallel_waves_agree_across_shard_policies() {
+    // Parallel-vs-parallel: the shard layout must not leak into decisions
+    // or final values either.
+    let mut single = lrb_scheduler_on(ShardPolicy::Single);
+    let mut auto = lrb_scheduler_on(ShardPolicy::Auto);
+
+    for wave in 0..WAVES {
+        let a = single.run_wave_parallel().unwrap();
+        let b = auto.run_wave_parallel().unwrap();
+        assert_eq!(a, b, "decisions diverged at wave {wave}");
+    }
+
+    assert_eq!(store_state(&single), store_state(&auto));
+    assert_eq!(single.store().clock(), auto.store().clock());
+}

@@ -8,20 +8,35 @@
 //! Run with: `cargo run --release -p smartflux-bench --bin diagnose [bound]`
 //!
 //! Pass `--json` for machine-readable output: one JSON object per workload
-//! per line, carrying the run summary, the model quality, a `durability`
-//! block (WAL bytes/records, checkpoints and recoveries observed while the
-//! run journals through a write-ahead log in a scratch directory), a
-//! `store` block (read/write counts, shard count and contention, quiesce
-//! count), the full telemetry snapshot (counters + latency histograms) and
-//! — with `--journal <dir>` — the path of the wave-decision journal
-//! written for the run.
+//! per line (layout versioned by `schema_version`), carrying the run
+//! summary, the model quality, the full telemetry snapshot and — when the
+//! run produced them — `fault_tolerance`, `durability` and `store`
+//! sections (sections with nothing to report are omitted). With
+//! `--journal <dir>` it also writes and reports the wave-decision journal.
+//!
+//! Two further modes drive the live observability plane:
+//!
+//! - `diagnose serve [--addr A] [--bound B] [--training N] [--waves N]
+//!   [--trace-out F] [--once]` runs a traced LRB session with an
+//!   `ObsServer` attached, exposing `/metrics`, `/healthz`, `/waves` and
+//!   `/trace` while the run progresses, then keeps serving the final
+//!   state (unless `--once`).
+//! - `diagnose scrape [--addr A] [--min-wave N] [--timeout-secs S]
+//!   [--trace-out F]` is the matching client: it waits for the served
+//!   run to reach the application phase, then conformance-checks the
+//!   OpenMetrics exposition and the trace/wave endpoints, exiting
+//!   non-zero on any violation. CI runs serve + scrape as a pair.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use smartflux::eval::EvalPolicy;
-use smartflux::{DurabilityOptions, SyncPolicy};
-use smartflux_bench::{pct, Workload};
-use smartflux_telemetry::{json_string, names};
+use smartflux::{DurabilityOptions, SmartFluxSession, SyncPolicy};
+use smartflux_bench::{diag, pct, Workload};
+use smartflux_obs::{http, openmetrics, perfetto, preregister};
+use smartflux_obs::{ObsServer, ObsSources, RingJournal, RingTraceSink};
+use smartflux_telemetry::{json_string, names, JournalSink, TraceSink};
 
 struct Args {
     bound: f64,
@@ -47,7 +62,10 @@ fn parse_args() -> Args {
                 if let Ok(b) = other.parse() {
                     out.bound = b;
                 } else {
-                    eprintln!("usage: diagnose [bound] [--json] [--journal <dir>]");
+                    eprintln!(
+                        "usage: diagnose [bound] [--json] [--journal <dir>] | \
+                         diagnose serve [options] | diagnose scrape [options]"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -108,33 +126,12 @@ fn run_json(args: &Args) {
             |p| json_string(&p.display().to_string()),
         );
         let snapshot = report.telemetry.snapshot();
-        let fault_json = format!(
-            "{{\"waves_aborted\":{},\"step_retries\":{},\"steps_failed\":{},\"sdf_fallbacks\":{}}}",
-            snapshot.counter(names::WAVES_ABORTED),
-            snapshot.counter(names::STEP_RETRIES),
-            snapshot.counter(names::STEPS_FAILED),
-            snapshot.counter(names::SDF_FALLBACKS),
-        );
-        let durability_json = format!(
-            "{{\"wal_bytes\":{},\"wal_records\":{},\"checkpoints\":{},\"recoveries\":{}}}",
-            snapshot.counter(names::WAL_BYTES),
-            snapshot.counter(names::WAL_RECORDS),
-            snapshot.counter(names::CHECKPOINTS),
-            snapshot.counter(names::RECOVERIES),
-        );
-        let store_json = format!(
-            "{{\"reads\":{},\"writes\":{},\"shards\":{},\"shard_read_contention\":{},\"shard_write_contention\":{},\"quiesces\":{}}}",
-            snapshot.counter(names::STORE_READS),
-            snapshot.counter(names::STORE_WRITES),
-            snapshot.gauge(names::STORE_SHARDS),
-            snapshot.gauge(names::STORE_SHARD_READ_CONTENTION),
-            snapshot.gauge(names::STORE_SHARD_WRITE_CONTENTION),
-            snapshot.gauge(names::STORE_QUIESCES),
-        );
         println!(
-            "{{\"workload\":{},\"bound\":{},\"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
+            "{{\"schema_version\":{},\"workload\":{},\"bound\":{},\
+             \"oracle\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
              \"smartflux\":{{\"executions\":{},\"confidence\":{},\"violations\":{}}},\
-             \"model_quality\":{},\"journal_path\":{},\"fault_tolerance\":{},\"durability\":{},\"store\":{},\"telemetry\":{}}}",
+             \"model_quality\":{},\"journal_path\":{}{},\"telemetry\":{}}}",
+            diag::SCHEMA_VERSION,
             json_string(wl.id()),
             args.bound,
             oracle.normalized_executions(),
@@ -145,16 +142,274 @@ fn run_json(args: &Args) {
             report.confidence.violations(),
             quality_json,
             journal_json,
-            fault_json,
-            durability_json,
-            store_json,
+            diag::optional_sections(&snapshot),
             snapshot.to_json(),
         );
         let _ = std::fs::remove_dir_all(&wal_dir);
     }
 }
 
+struct ServeArgs {
+    addr: String,
+    bound: f64,
+    training: usize,
+    waves: u64,
+    trace_out: Option<PathBuf>,
+    once: bool,
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeArgs {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:9464".to_owned(),
+        bound: 0.10,
+        training: 240,
+        waves: 200,
+        trace_out: None,
+        once: false,
+    };
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--bound" => out.bound = value("--bound").parse().expect("--bound is a number"),
+            "--training" => {
+                out.training = value("--training").parse().expect("--training is a count");
+            }
+            "--waves" => out.waves = value("--waves").parse().expect("--waves is a count"),
+            "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--once" => out.once = true,
+            other => {
+                eprintln!(
+                    "usage: diagnose serve [--addr A] [--bound B] [--training N] \
+                     [--waves N] [--trace-out F] [--once] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Runs a traced LRB session with the observability plane attached and
+/// serves it over HTTP while (and after) the run progresses.
+fn run_serve(args: &ServeArgs) {
+    let store = smartflux_datastore::DataStore::new();
+    let workflow = Workload::Lrb.factory(args.bound).build(&store);
+    let wal_dir = std::env::temp_dir().join(format!("smartflux-serve-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let config = Workload::Lrb
+        .engine_config(args.bound)
+        .with_telemetry(true)
+        .with_training_waves(args.training)
+        .with_durability(DurabilityOptions::new(&wal_dir).with_sync(SyncPolicy::Never));
+    let mut session = SmartFluxSession::new(workflow, store, config).expect("LRB declares QoD");
+
+    let telemetry = session.telemetry().clone();
+    preregister(&telemetry);
+    let trace = Arc::new(RingTraceSink::with_capacity(65_536));
+    telemetry.set_trace_sink(Some(Arc::clone(&trace) as Arc<dyn TraceSink>));
+    let waves_ring = Arc::new(RingJournal::with_capacity(1_024));
+    telemetry.add_journal_sink(Arc::clone(&waves_ring) as Arc<dyn JournalSink>);
+
+    let sources = ObsSources {
+        telemetry,
+        trace: Some(Arc::clone(&trace)),
+        waves: Some(waves_ring),
+    };
+    let server = ObsServer::start(&args.addr, sources, 2).expect("bind observability address");
+    println!("diagnose serve: listening on http://{}", server.addr());
+
+    let ran = session.run_training().expect("training run succeeds");
+    println!("diagnose serve: training complete after {ran} waves");
+    session
+        .run_waves(args.waves)
+        .expect("application run succeeds");
+    println!(
+        "diagnose serve: {} application waves done ({} spans recorded)",
+        args.waves,
+        trace.recorded()
+    );
+
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, perfetto::render(&trace.events())).expect("write trace file");
+        println!("diagnose serve: wrote Perfetto trace to {}", path.display());
+    }
+
+    if args.once {
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        return;
+    }
+    // Keep serving the final state until killed (CI scrapes us here).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+struct ScrapeArgs {
+    addr: String,
+    min_wave: u64,
+    timeout_secs: u64,
+    trace_out: Option<PathBuf>,
+}
+
+fn parse_scrape_args(mut args: impl Iterator<Item = String>) -> ScrapeArgs {
+    let mut out = ScrapeArgs {
+        addr: "127.0.0.1:9464".to_owned(),
+        min_wave: 1,
+        timeout_secs: 600,
+        trace_out: None,
+    };
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--min-wave" => {
+                out.min_wave = value("--min-wave").parse().expect("--min-wave is a count");
+            }
+            "--timeout-secs" => {
+                out.timeout_secs = value("--timeout-secs")
+                    .parse()
+                    .expect("--timeout-secs is a count");
+            }
+            "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            other => {
+                eprintln!(
+                    "usage: diagnose scrape [--addr A] [--min-wave N] \
+                     [--timeout-secs S] [--trace-out F] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts an unsigned integer field from a flat JSON object, crudely:
+/// `"name":123`. Good enough for `/healthz`, whose schema we own.
+fn json_u64_field(body: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Conformance-scrapes a served run; returns an error description on the
+/// first violation.
+fn run_scrape(args: &ScrapeArgs) -> Result<(), String> {
+    let io_timeout = Duration::from_secs(5);
+    let deadline = Instant::now() + Duration::from_secs(args.timeout_secs);
+
+    // 1. Wait for the served run to reach the application phase.
+    loop {
+        if let Ok((200, body)) = http::get(&args.addr, "/healthz", io_timeout) {
+            let wave = json_u64_field(&body, "last_wave").unwrap_or(0);
+            if body.contains("\"phase\":\"application\"") && wave >= args.min_wave {
+                println!("scrape: healthy at wave {wave}: {body}");
+                break;
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "timed out after {}s waiting for application phase at wave {}",
+                args.timeout_secs, args.min_wave
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // 2. The OpenMetrics exposition must parse and carry the key series.
+    let (status, text) =
+        http::get(&args.addr, "/metrics", io_timeout).map_err(|e| format!("GET /metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics returned {status}"));
+    }
+    let exposition = openmetrics::parse(&text).map_err(|e| format!("/metrics conformance: {e}"))?;
+    for counter in [
+        names::STEP_RETRIES,
+        names::STEPS_EXECUTED,
+        names::WAL_RECORDS,
+        names::WAL_BYTES,
+        names::CHECKPOINTS,
+        names::STORE_WRITES,
+    ] {
+        if exposition.counter_total(counter).is_none() {
+            return Err(format!("/metrics is missing counter `{counter}`"));
+        }
+    }
+    if exposition
+        .gauge(names::STORE_SHARD_WRITE_CONTENTION)
+        .is_none()
+    {
+        return Err("/metrics is missing gauge `store.shard_write_contention`".into());
+    }
+    for histogram in [names::WAVE_LATENCY, names::STEP_TOTAL_LATENCY] {
+        for q in ["0.5", "0.95", "0.99"] {
+            if exposition.quantile(histogram, q).is_none() {
+                return Err(format!("/metrics is missing p{q} of `{histogram}`"));
+            }
+        }
+    }
+    let executed = exposition
+        .counter_total(names::STEPS_EXECUTED)
+        .unwrap_or(0.0);
+    if executed <= 0.0 {
+        return Err("served run executed no steps".into());
+    }
+    println!(
+        "scrape: /metrics ok ({} families, {} steps executed, p95 wave {}s)",
+        exposition.families.len(),
+        executed,
+        exposition
+            .quantile(names::WAVE_LATENCY, "0.95")
+            .unwrap_or(0.0),
+    );
+
+    // 3. /waves serves the journal tail as a JSON array of decisions.
+    let (status, body) =
+        http::get(&args.addr, "/waves?n=5", io_timeout).map_err(|e| format!("GET /waves: {e}"))?;
+    if status != 200 || !body.trim_start().starts_with('[') || !body.contains("\"wave\":") {
+        return Err(format!("GET /waves returned {status} with unexpected body"));
+    }
+    println!("scrape: /waves ok ({} bytes)", body.len());
+
+    // 4. /trace serves loadable Chrome trace JSON with wave roots.
+    let (status, body) = http::get(&args.addr, "/trace?waves=8", io_timeout)
+        .map_err(|e| format!("GET /trace: {e}"))?;
+    if status != 200 || !body.contains("\"traceEvents\"") || !body.contains("wms.wave") {
+        return Err(format!("GET /trace returned {status} without wave spans"));
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, &body).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("scrape: wrote trace artifact to {}", path.display());
+    }
+    println!("scrape: /trace ok ({} bytes)", body.len());
+    Ok(())
+}
+
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => {
+            run_serve(&parse_serve_args(std::env::args().skip(2)));
+            return;
+        }
+        Some("scrape") => {
+            if let Err(e) = run_scrape(&parse_scrape_args(std::env::args().skip(2))) {
+                eprintln!("scrape: FAILED: {e}");
+                std::process::exit(1);
+            }
+            println!("scrape: all observability checks passed");
+            return;
+        }
+        _ => {}
+    }
+
     let args = parse_args();
     if args.json {
         run_json(&args);

@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diag;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

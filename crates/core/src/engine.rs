@@ -1188,6 +1188,19 @@ impl TriggerPolicy for QodEngine {
             }
         }
         self.durability_commit(wave);
+        if self.telemetry.is_enabled() {
+            let health = self.telemetry.health();
+            health.set_phase(match self.phase {
+                Phase::Training { .. } => "training",
+                Phase::Application => "application",
+            });
+            health.note_wave(wave);
+            if let Some(manager) = &self.durability {
+                if let Ok(len) = manager.wal_len() {
+                    health.set_wal_lag_bytes(len);
+                }
+            }
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use smartflux_datastore::{DataStore, OpKind};
+use smartflux_datastore::{DataStore, OpKind, OpObserver};
 use smartflux_telemetry::{names, JsonlSink, Telemetry};
 use smartflux_wms::{Scheduler, WaveOutcome, Workflow};
 
@@ -332,21 +332,42 @@ pub(crate) fn telemetry_for(
         telemetry.add_journal_sink(Arc::new(sink));
     }
     if telemetry.is_enabled() {
-        let t = telemetry.clone();
-        store.register_op_observer(Arc::new(move |op: OpKind, elapsed: Duration| {
-            if !t.is_enabled() {
-                return;
-            }
-            if op.is_write() {
-                t.counter(names::STORE_WRITES).incr();
-                t.histogram(names::STORE_WRITE_LATENCY).record(elapsed);
-            } else {
-                t.counter(names::STORE_READS).incr();
-                t.histogram(names::STORE_READ_LATENCY).record(elapsed);
-            }
+        store.register_op_observer(Arc::new(StoreTelemetryObserver {
+            telemetry: telemetry.clone(),
         }));
     }
     Ok(telemetry)
+}
+
+/// Feeds store operation timings into telemetry: read/write counters and
+/// latency histograms from `on_op`, plus a per-shard trace event for each
+/// write so store mutations appear as children of the step attempt that
+/// issued them in the wave's trace tree (reads are too hot to trace).
+struct StoreTelemetryObserver {
+    telemetry: Telemetry,
+}
+
+impl OpObserver for StoreTelemetryObserver {
+    fn on_op(&self, op: OpKind, elapsed: Duration) {
+        let t = &self.telemetry;
+        if !t.is_enabled() {
+            return;
+        }
+        if op.is_write() {
+            t.counter(names::STORE_WRITES).incr();
+            t.histogram(names::STORE_WRITE_LATENCY).record(elapsed);
+        } else {
+            t.counter(names::STORE_READS).incr();
+            t.histogram(names::STORE_READ_LATENCY).record(elapsed);
+        }
+    }
+
+    fn on_shard_op(&self, op: OpKind, shard: usize, elapsed: Duration) {
+        if op.is_write() {
+            self.telemetry
+                .trace_event(names::STORE_WRITE_LATENCY, shard as u64, elapsed);
+        }
+    }
 }
 
 /// Publishes a store's [`ShardStats`] as `store.*` gauges — gauges (not

@@ -275,9 +275,10 @@ impl DataStore {
         qualifier: &str,
         value: Value,
     ) -> Result<Option<Value>, StoreError> {
-        self.timed(OpKind::Put, || {
+        let shard = shard_index(self.shared.mask, table, family);
+        self.timed(OpKind::Put, shard, || {
             let max_versions = self.max_versions();
-            let mut data = self.shard_mut(shard_index(self.shared.mask, table, family));
+            let mut data = self.shard_mut(shard);
             let ts = self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let Some(fam) = data.get_mut(table).and_then(|t| t.get_mut(family)) else {
                 drop(data);
@@ -317,8 +318,9 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<Value>, StoreError> {
-        self.timed(OpKind::Delete, || {
-            let mut data = self.shard_mut(shard_index(self.shared.mask, table, family));
+        let shard = shard_index(self.shared.mask, table, family);
+        self.timed(OpKind::Delete, shard, || {
+            let mut data = self.shard_mut(shard);
             let ts = self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let Some(fam) = data.get_mut(table).and_then(|t| t.get_mut(family)) else {
                 drop(data);
@@ -355,8 +357,9 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<Value>, StoreError> {
-        self.timed(OpKind::Get, || {
-            let data = self.shard_ref(shard_index(self.shared.mask, table, family));
+        let shard = shard_index(self.shared.mask, table, family);
+        self.timed(OpKind::Get, shard, || {
+            let data = self.shard_ref(shard);
             let Some(fam) = data.get(table).and_then(|t| t.get(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
@@ -383,8 +386,9 @@ impl DataStore {
         row: &str,
         qualifier: &str,
     ) -> Result<Option<VersionedCell>, StoreError> {
-        self.timed(OpKind::GetVersioned, || {
-            let data = self.shard_ref(shard_index(self.shared.mask, table, family));
+        let shard = shard_index(self.shared.mask, table, family);
+        self.timed(OpKind::GetVersioned, shard, || {
+            let data = self.shard_ref(shard);
             let Some(fam) = data.get(table).and_then(|t| t.get(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
@@ -404,8 +408,9 @@ impl DataStore {
         family: &str,
         filter: &ScanFilter,
     ) -> Result<Vec<RowScan>, StoreError> {
-        self.timed(OpKind::Scan, || {
-            let data = self.shard_ref(shard_index(self.shared.mask, table, family));
+        let shard = shard_index(self.shared.mask, table, family);
+        self.timed(OpKind::Scan, shard, || {
+            let data = self.shard_ref(shard);
             let Some(fam) = data.get(table).and_then(|t| t.get(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
@@ -445,10 +450,11 @@ impl DataStore {
     ///
     /// Returns an error if the container's table or family does not exist.
     pub fn snapshot(&self, container: &ContainerRef) -> Result<Snapshot, StoreError> {
-        self.timed(OpKind::Snapshot, || {
+        let shard = shard_index(self.shared.mask, container.table(), container.family_name());
+        self.timed(OpKind::Snapshot, shard, || {
             let table = container.table();
             let family = container.family_name();
-            let data = self.shard_ref(shard_index(self.shared.mask, table, family));
+            let data = self.shard_ref(shard);
             let Some(fam) = data.get(table).and_then(|t| t.get(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
@@ -518,9 +524,10 @@ impl DataStore {
         removed
     }
 
-    /// Runs `op_body`, reporting its duration to op observers — unless
-    /// none is registered, in which case nothing is measured at all.
-    fn timed<T>(&self, op: OpKind, op_body: impl FnOnce() -> T) -> T {
+    /// Runs `op_body`, reporting its duration (and the serving shard) to
+    /// op observers — unless none is registered, in which case nothing is
+    /// measured at all.
+    fn timed<T>(&self, op: OpKind, shard: usize, op_body: impl FnOnce() -> T) -> T {
         if self.op_observer_count.load(Ordering::Relaxed) == 0 {
             return op_body();
         }
@@ -535,6 +542,7 @@ impl DataStore {
         let observers = self.op_observers.read().snapshot();
         for obs in observers.iter() {
             obs.on_op(op, elapsed);
+            obs.on_shard_op(op, shard, elapsed);
         }
         out
     }
@@ -1227,5 +1235,30 @@ mod tests {
         assert!(!s.unregister_op_observer(h));
         s.put("t", "f", "r", "q", Value::from(2.0)).unwrap();
         assert_eq!(writes.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn op_observer_reports_the_serving_shard() {
+        use parking_lot::Mutex;
+        struct ShardRecorder {
+            shards: Mutex<Vec<(OpKind, usize)>>,
+        }
+        impl crate::OpObserver for ShardRecorder {
+            fn on_op(&self, _op: OpKind, _elapsed: std::time::Duration) {}
+            fn on_shard_op(&self, op: OpKind, shard: usize, _elapsed: std::time::Duration) {
+                self.shards.lock().push((op, shard));
+            }
+        }
+
+        let s = store_with_tf();
+        let rec = Arc::new(ShardRecorder {
+            shards: Mutex::new(Vec::new()),
+        });
+        s.register_op_observer(Arc::clone(&rec) as Arc<dyn crate::OpObserver>);
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        s.get("t", "f", "r", "q").unwrap();
+        let seen = rec.shards.lock().clone();
+        let expected = shard_index(s.shared.mask, "t", "f");
+        assert_eq!(seen, vec![(OpKind::Put, expected), (OpKind::Get, expected)]);
     }
 }

@@ -156,6 +156,9 @@ impl DurabilityManager {
     /// process should fall back to non-durable operation, not retry into
     /// a misordered log.
     pub fn commit_wave(&self, wave: u64, clock: u64) -> Result<(), DurabilityError> {
+        // Commit runs on the scheduler thread while the wave span is still
+        // open, so this span parents under the wave's trace root.
+        let _commit_span = self.telemetry.span(names::WAL_COMMIT_LATENCY, wave);
         let OpBuffer { bytes, ops } = std::mem::take(&mut *self.buffer.lock());
         let bytes = if ops.windows(2).all(|pair| pair[0].0 <= pair[1].0) {
             bytes
@@ -209,6 +212,7 @@ impl DurabilityManager {
         store: &DataStore,
         engine: Vec<u8>,
     ) -> Result<(), DurabilityError> {
+        let _checkpoint_span = self.telemetry.span(names::CHECKPOINT_WRITE_LATENCY, wave);
         // One export only: `export_state` quiesces writers and captures
         // state and clock as a single consistent cut. Reading the clock
         // separately could pair a newer clock with older data under

@@ -1,0 +1,146 @@
+//! Minimal HTTP/1.1 plumbing for the observability server.
+//!
+//! Just enough of the protocol for a metrics endpoint: parse the request
+//! line and headers of a `GET`, write a `Connection: close` response.
+//! No keep-alive, no chunked encoding, no external dependencies.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed request line: method, path, and decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Path without the query string (e.g. `/metrics`).
+    pub path: String,
+    /// Query parameters (`?waves=20` → `waves: 20`). Values are not
+    /// percent-decoded — the server's parameters are plain integers.
+    pub query: BTreeMap<String, String>,
+}
+
+/// Reads and parses one request from `stream` (headers are consumed and
+/// discarded; bodies are not supported).
+///
+/// # Errors
+///
+/// Returns an error if the stream closes early, exceeds the header
+/// budget, or the request line is malformed.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    let request = parse_target(method, target);
+
+    // Drain headers up to a fixed budget; we never use them.
+    let mut budget = 64;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+        budget -= 1;
+        if budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+    }
+    Ok(request)
+}
+
+/// Splits `target` into path and query parameters.
+fn parse_target(method: &str, target: &str) -> Request {
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_owned(), v.to_owned()),
+            None => query.insert(pair.to_owned(), String::new()),
+        };
+    }
+    Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        query,
+    }
+}
+
+/// Writes a complete `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates write failures (e.g. the client hung up).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP GET against `addr` (e.g. `"127.0.0.1:9464"`).
+/// Returns the status code and body. Used by the scrape tooling and the
+/// end-to-end tests; `timeout` bounds both connect-read and write.
+///
+/// # Errors
+///
+/// Returns connection/read errors, or `InvalidData` if the response is
+/// not parseable HTTP.
+pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "response without header break")
+    })?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_extracts_path_and_query() {
+        let r = parse_target("GET", "/trace?waves=20&flat");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/trace");
+        assert_eq!(r.query.get("waves").map(String::as_str), Some("20"));
+        assert_eq!(r.query.get("flat").map(String::as_str), Some(""));
+        let plain = parse_target("GET", "/metrics");
+        assert_eq!(plain.path, "/metrics");
+        assert!(plain.query.is_empty());
+    }
+}

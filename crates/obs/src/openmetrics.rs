@@ -1,0 +1,452 @@
+//! OpenMetrics text exposition: renderer and a minimal conformance parser.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the OpenMetrics text
+//! format served on `/metrics`:
+//!
+//! - counters become `counter` families with the mandatory `_total`
+//!   sample suffix,
+//! - gauges become `gauge` families,
+//! - histograms are exported twice — once as a `histogram` family in
+//!   seconds with the full cumulative `le` bucket series (loss-free,
+//!   thanks to [`HistogramSnapshot::buckets`]) and once as a `summary`
+//!   family carrying the precomputed p50/p95/p99 quantiles.
+//!
+//! Dotted SmartFlux names (`wms.step_retries`) are sanitised to the
+//! exposition charset (`wms_step_retries`); each `HELP` line carries the
+//! original dotted name so the mapping stays greppable.
+//!
+//! [`parse`] is the matching hand-rolled parser used by the conformance
+//! test and the CI scrape job: it checks family metadata, sample/family
+//! consistency, cumulative bucket monotonicity, and the `# EOF` trailer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use smartflux_telemetry::{HistogramSnapshot, MetricsSnapshot, BUCKET_BOUNDS_NS};
+
+/// The content type `/metrics` responses declare.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Sanitises a SmartFlux instrument name into the OpenMetrics charset.
+#[must_use]
+pub fn metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats nanoseconds as decimal seconds without float round-trips.
+fn seconds(ns: u64) -> String {
+    let secs = ns / 1_000_000_000;
+    let frac = ns % 1_000_000_000;
+    if frac == 0 {
+        return format!("{secs}");
+    }
+    let mut digits = format!("{frac:09}");
+    while digits.ends_with('0') {
+        digits.pop();
+    }
+    format!("{secs}.{digits}")
+}
+
+fn render_histogram(out: &mut String, base: &str, original: &str, h: &HistogramSnapshot) {
+    let family = format!("{base}_seconds");
+    let _ = writeln!(out, "# HELP {family} latency of {original} in seconds");
+    let _ = writeln!(out, "# TYPE {family} histogram");
+    let mut cumulative = 0u64;
+    for (i, bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+        cumulative += h.buckets.get(i).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{le=\"{}\"}} {cumulative}",
+            seconds(*bound)
+        );
+    }
+    let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{family}_sum {}", seconds(h.sum_ns));
+    let _ = writeln!(out, "{family}_count {}", h.count);
+
+    let quantiles = format!("{base}_quantile_seconds");
+    let _ = writeln!(
+        out,
+        "# HELP {quantiles} bucketed quantiles of {original} in seconds"
+    );
+    let _ = writeln!(out, "# TYPE {quantiles} summary");
+    for (q, v) in [("0.5", h.p50_ns), ("0.95", h.p95_ns), ("0.99", h.p99_ns)] {
+        let _ = writeln!(out, "{quantiles}{{quantile=\"{q}\"}} {}", seconds(v));
+    }
+    let _ = writeln!(out, "{quantiles}_sum {}", seconds(h.sum_ns));
+    let _ = writeln!(out, "{quantiles}_count {}", h.count);
+}
+
+/// Renders `snapshot` as an OpenMetrics text exposition, `# EOF` included.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snapshot.counters {
+        let family = metric_name(name);
+        let _ = writeln!(out, "# HELP {family} cumulative count of {name}");
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family}_total {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let family = metric_name(name);
+        let _ = writeln!(out, "# HELP {family} current value of {name}");
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let _ = writeln!(out, "{family} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &metric_name(name), name, h);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// The family kinds the renderer emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter (`_total` samples).
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+    /// Quantile summary.
+    Summary,
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name, suffixes included.
+    pub name: String,
+    /// Label set, e.g. `le` or `quantile`.
+    pub labels: BTreeMap<String, String>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One parsed metric family: metadata plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Declared type.
+    pub kind: FamilyKind,
+    /// `HELP` text (the renderer embeds the original dotted name here).
+    pub help: String,
+    /// Samples in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed exposition: families by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Families keyed by family name.
+    pub families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// Looks up the sample value for SmartFlux counter `name`
+    /// (dotted form), if present.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> Option<f64> {
+        let family = metric_name(name);
+        let sample_name = format!("{family}_total");
+        self.families.get(&family).and_then(|f| {
+            f.samples
+                .iter()
+                .find(|s| s.name == sample_name)
+                .map(|s| s.value)
+        })
+    }
+
+    /// Looks up the gauge value for SmartFlux gauge `name` (dotted form).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let family = metric_name(name);
+        self.families
+            .get(&family)
+            .and_then(|f| f.samples.iter().find(|s| s.name == family).map(|s| s.value))
+    }
+
+    /// Quantile `q` (e.g. `"0.99"`) of SmartFlux histogram `name`.
+    #[must_use]
+    pub fn quantile(&self, name: &str, q: &str) -> Option<f64> {
+        let family = format!("{}_quantile_seconds", metric_name(name));
+        self.families.get(&family).and_then(|f| {
+            f.samples
+                .iter()
+                .find(|s| s.labels.get("quantile").is_some_and(|v| v == q))
+                .map(|s| s.value)
+        })
+    }
+}
+
+/// Strips known sample suffixes to find the owning family name.
+fn family_of(sample_name: &str, families: &BTreeMap<String, Family>) -> Option<String> {
+    if families.contains_key(sample_name) {
+        return Some(sample_name.to_owned());
+    }
+    for suffix in ["_total", "_bucket", "_sum", "_count"] {
+        if let Some(stem) = sample_name.strip_suffix(suffix) {
+            if families.contains_key(stem) {
+                return Some(stem.to_owned());
+            }
+        }
+    }
+    None
+}
+
+fn parse_labels(raw: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut labels = BTreeMap::new();
+    for pair in raw.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("malformed label pair `{pair}`"))?;
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value in `{pair}`"))?;
+        labels.insert(key.trim().to_owned(), value.to_owned());
+    }
+    Ok(labels)
+}
+
+/// Parses an OpenMetrics text exposition as produced by [`render`].
+///
+/// Validates structure rather than merely tokenising: the exposition must
+/// end with `# EOF`, every sample must belong to a declared family, a
+/// family must not be declared twice, histogram `le` buckets must be
+/// cumulative (non-decreasing ending at `+Inf == _count`), and values
+/// must parse as numbers.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    let mut saw_eof = false;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: HELP without text"))?;
+            exposition
+                .families
+                .entry(family.to_owned())
+                .or_insert(Family {
+                    kind: FamilyKind::Gauge,
+                    help: String::new(),
+                    samples: Vec::new(),
+                })
+                .help = help.to_owned();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+            let kind = match kind {
+                "counter" => FamilyKind::Counter,
+                "gauge" => FamilyKind::Gauge,
+                "histogram" => FamilyKind::Histogram,
+                "summary" => FamilyKind::Summary,
+                other => return Err(format!("line {n}: unknown family type `{other}`")),
+            };
+            let entry = exposition
+                .families
+                .entry(family.to_owned())
+                .or_insert(Family {
+                    kind,
+                    help: String::new(),
+                    samples: Vec::new(),
+                });
+            if !entry.samples.is_empty() {
+                return Err(format!("line {n}: TYPE for `{family}` after its samples"));
+            }
+            entry.kind = kind;
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: unsupported comment form"));
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(open) => {
+                let close = line[open..]
+                    .find('}')
+                    .map(|c| open + c)
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (
+                    (line[..open].to_owned(), Some(&line[open + 1..close])),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let (name, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {n}: sample without value"))?;
+                ((name.to_owned(), None), value.trim())
+            }
+        };
+        let (name, raw_labels) = name_part;
+        let labels = match raw_labels {
+            Some(raw) => parse_labels(raw).map_err(|e| format!("line {n}: {e}"))?,
+            None => BTreeMap::new(),
+        };
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {n}: non-numeric value `{value_part}`"))?;
+        let family = family_of(&name, &exposition.families)
+            .ok_or_else(|| format!("line {n}: sample `{name}` has no declared family"))?;
+        if let Some(entry) = exposition.families.get_mut(&family) {
+            entry.samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+    }
+    if !saw_eof {
+        return Err("missing # EOF trailer".into());
+    }
+    validate_histograms(&exposition)?;
+    Ok(exposition)
+}
+
+/// Checks cumulative bucket monotonicity for every histogram family.
+fn validate_histograms(exposition: &Exposition) -> Result<(), String> {
+    for (name, family) in &exposition.families {
+        if family.kind != FamilyKind::Histogram {
+            continue;
+        }
+        let mut last = 0.0f64;
+        let mut inf = None;
+        let mut count = None;
+        for sample in &family.samples {
+            if sample.name.ends_with("_bucket") {
+                if sample.value < last {
+                    return Err(format!("{name}: non-cumulative le buckets"));
+                }
+                last = sample.value;
+                if sample.labels.get("le").is_some_and(|le| le == "+Inf") {
+                    inf = Some(sample.value);
+                }
+            } else if sample.name.ends_with("_count") {
+                count = Some(sample.value);
+            }
+        }
+        match (inf, count) {
+            (Some(i), Some(c)) if (i - c).abs() < f64::EPSILON => {}
+            _ => return Err(format!("{name}: +Inf bucket must equal _count")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartflux_telemetry::Telemetry;
+    use std::time::Duration;
+
+    #[test]
+    fn seconds_formatting_is_exact() {
+        assert_eq!(seconds(0), "0");
+        assert_eq!(seconds(1_000), "0.000001");
+        assert_eq!(seconds(1_500_000_000), "1.5");
+        assert_eq!(seconds(2_000_000_000), "2");
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let t = Telemetry::enabled();
+        t.counter("wms.step_retries").add(3);
+        t.gauge("store.shard_write_contention").set(7);
+        let h = t.histogram("wms.wave");
+        for _ in 0..10 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+
+        let text = render(&t.snapshot());
+        assert!(text.ends_with("# EOF\n"));
+        let parsed = parse(&text).expect("own exposition must parse");
+
+        assert_eq!(parsed.counter_total("wms.step_retries"), Some(3.0));
+        assert_eq!(parsed.gauge("store.shard_write_contention"), Some(7.0));
+        // Bucketed p50 of 100 µs is the 100 µs bucket bound.
+        assert_eq!(parsed.quantile("wms.wave", "0.5"), Some(0.0001));
+        assert_eq!(parsed.quantile("wms.wave", "0.99"), Some(0.05));
+        // HELP carries the dotted name for greppability.
+        let family = parsed.families.get("wms_step_retries").unwrap();
+        assert!(family.help.contains("wms.step_retries"));
+        assert_eq!(family.kind, FamilyKind::Counter);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_loss_free() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("x.y");
+        h.record(Duration::from_micros(1)); // 1e-6 bucket
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_secs(1000)); // overflow
+        let text = render(&t.snapshot());
+        let parsed = parse(&text).unwrap();
+        let family = parsed.families.get("x_y_seconds").unwrap();
+        assert_eq!(family.kind, FamilyKind::Histogram);
+        let first = family
+            .samples
+            .iter()
+            .find(|s| s.labels.get("le").is_some_and(|le| le == "0.000001"))
+            .unwrap();
+        assert_eq!(first.value, 2.0);
+        let inf = family
+            .samples
+            .iter()
+            .find(|s| s.labels.get("le").is_some_and(|le| le == "+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_structural_violations() {
+        assert!(parse("no_eof 1\n").is_err());
+        assert!(parse("orphan_sample 1\n# EOF\n").is_err());
+        assert!(
+            parse("# TYPE a counter\na_total nope\n# EOF\n").is_err(),
+            "non-numeric value must be rejected"
+        );
+        let shuffled = "# TYPE h histogram\n\
+                        h_bucket{le=\"0.1\"} 5\n\
+                        h_bucket{le=\"+Inf\"} 3\n\
+                        h_count 3\n\
+                        # EOF\n";
+        assert!(parse(shuffled).is_err(), "non-cumulative buckets rejected");
+        assert!(parse("# TYPE a counter\na_total 1\n# EOF\nx 1\n").is_err());
+    }
+
+    #[test]
+    fn metric_name_sanitises_dots() {
+        assert_eq!(metric_name("wms.step_retries"), "wms_step_retries");
+        assert_eq!(metric_name("a-b c"), "a_b_c");
+    }
+}

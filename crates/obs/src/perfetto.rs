@@ -1,0 +1,147 @@
+//! Chrome trace-event JSON export (Perfetto-compatible).
+//!
+//! Renders a span stream as the classic `{"traceEvents": [...]}` JSON
+//! that both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Every span becomes a complete (`"ph":"X"`) event;
+//! timestamps are microseconds from the process trace epoch, so spans
+//! from every thread share one timeline.
+//!
+//! Track layout: one process, one track (tid) per trace tree, named after
+//! its root (`wave 17` for a `wms.wave` root with tag 17). Skip-heavy
+//! waves, retry storms, and checkpoint stalls read directly off the
+//! timeline as short tracks, repeated `wms.step_attempt` slices, and long
+//! `durability.checkpoint_write` slices respectively.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use smartflux_telemetry::SpanEvent;
+
+/// Microseconds (as a 3-decimal string) from nanoseconds.
+fn micros(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    format!("{whole}.{frac:03}")
+}
+
+/// Renders `events` as Chrome trace-event JSON.
+///
+/// Untraced events (no trace identity) are skipped: without identities
+/// they cannot be placed on a track. Returns a complete JSON object
+/// ready to be written to a `.json` file or served over HTTP.
+#[must_use]
+pub fn render(events: &[SpanEvent]) -> String {
+    // Assign one tid per trace, in first-seen order, and remember each
+    // trace's root for track naming.
+    let mut tids: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut track_names: BTreeMap<u64, String> = BTreeMap::new();
+    for event in events {
+        if !event.is_traced() {
+            continue;
+        }
+        let next = tids.len() as u64 + 1;
+        let tid = *tids.entry(event.trace_id).or_insert(next);
+        if event.is_root() {
+            let label = match event.name {
+                "wms.wave" => format!("wave {}", event.tag),
+                other => format!("{other} {}", event.tag),
+            };
+            track_names.insert(tid, label);
+        }
+    }
+
+    let mut out = String::with_capacity(events.len() * 160 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, label) in &track_names {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+    for event in events {
+        if !event.is_traced() {
+            continue;
+        }
+        let Some(tid) = tids.get(&event.trace_id) else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let dur_ns = u64::try_from(event.elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"smartflux\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{\"tag\":{},\"trace_id\":{},\"span_id\":{},\
+             \"parent_id\":{}}}}}",
+            event.name,
+            micros(event.start_ns),
+            micros(dur_ns),
+            event.tag,
+            event.trace_id,
+            event.span_id,
+            event.parent_id,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ev(trace: u64, span: u64, parent: u64, start: u64, name: &'static str) -> SpanEvent {
+        SpanEvent {
+            name,
+            tag: trace * 10,
+            trace_id: trace,
+            span_id: span,
+            parent_id: parent,
+            start_ns: start,
+            elapsed: Duration::from_micros(7),
+        }
+    }
+
+    #[test]
+    fn export_produces_complete_events_per_span() {
+        let events = vec![
+            ev(1, 1, 0, 1_000, "wms.wave"),
+            ev(1, 2, 1, 2_500, "wms.step_total"),
+        ];
+        let json = render(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"wms.wave\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"dur\":7.000"));
+        // The wave root names its track.
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("wave 10"));
+    }
+
+    #[test]
+    fn traces_map_to_distinct_tracks() {
+        let events = vec![ev(1, 1, 0, 0, "wms.wave"), ev(2, 3, 0, 9, "wms.wave")];
+        let json = render(&events);
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn untraced_events_are_skipped() {
+        let mut plain = ev(0, 0, 0, 0, "x");
+        plain.trace_id = 0;
+        let json = render(&[plain]);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Engine health state served by the observability plane's `/healthz`.
+//!
+//! A tiny always-on bundle of atomics the engine refreshes at wave
+//! boundaries: phase, last completed wave (with its timestamp), and the
+//! WAL lag in bytes. Living in the telemetry crate keeps the server crate
+//! free of engine dependencies — the engine writes through its
+//! [`Telemetry`](crate::Telemetry) handle, the server reads a
+//! [`HealthSnapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::span::trace_epoch_ns;
+
+/// Live health registers shared through a [`Telemetry`](crate::Telemetry)
+/// handle.
+#[derive(Debug)]
+pub struct Health {
+    phase: RwLock<&'static str>,
+    last_wave: AtomicU64,
+    /// Trace-epoch nanoseconds of the last `note_wave`; `0` = never.
+    last_wave_at_ns: AtomicU64,
+    wal_lag_bytes: AtomicU64,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Self {
+            phase: RwLock::new("idle"),
+            last_wave: AtomicU64::new(0),
+            last_wave_at_ns: AtomicU64::new(0),
+            wal_lag_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Health {
+    /// Sets the engine phase label (`"training"`, `"application"`, ...).
+    pub fn set_phase(&self, phase: &'static str) {
+        *self.phase.write() = phase;
+    }
+
+    /// Records that wave `wave` just completed (stamps the current time).
+    pub fn note_wave(&self, wave: u64) {
+        self.last_wave.store(wave, Ordering::Relaxed);
+        self.last_wave_at_ns
+            .store(trace_epoch_ns().max(1), Ordering::Relaxed);
+    }
+
+    /// Publishes the current WAL length (bytes past the last checkpoint).
+    pub fn set_wal_lag_bytes(&self, bytes: u64) {
+        self.wal_lag_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Captures a point-in-time health view.
+    #[must_use]
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let at = self.last_wave_at_ns.load(Ordering::Relaxed);
+        let last_wave_age = if at == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(trace_epoch_ns().saturating_sub(at)))
+        };
+        HealthSnapshot {
+            phase: *self.phase.read(),
+            last_wave: self.last_wave.load(Ordering::Relaxed),
+            last_wave_age,
+            wal_lag_bytes: self.wal_lag_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`Health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Engine phase label; `"idle"` until the engine reports one.
+    pub phase: &'static str,
+    /// Last completed wave number (0 = none yet).
+    pub last_wave: u64,
+    /// Time since the last completed wave, `None` before the first.
+    pub last_wave_age: Option<Duration>,
+    /// WAL bytes accumulated since the last checkpoint.
+    pub wal_lag_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_report_idle() {
+        let h = Health::default();
+        let s = h.snapshot();
+        assert_eq!(s.phase, "idle");
+        assert_eq!(s.last_wave, 0);
+        assert!(s.last_wave_age.is_none());
+        assert_eq!(s.wal_lag_bytes, 0);
+    }
+
+    #[test]
+    fn wave_notes_stamp_an_age() {
+        let h = Health::default();
+        h.set_phase("application");
+        h.note_wave(42);
+        h.set_wal_lag_bytes(4096);
+        let s = h.snapshot();
+        assert_eq!(s.phase, "application");
+        assert_eq!(s.last_wave, 42);
+        assert!(s.last_wave_age.is_some());
+        assert!(s.last_wave_age.unwrap() < Duration::from_secs(60));
+        assert_eq!(s.wal_lag_bytes, 4096);
+    }
+}

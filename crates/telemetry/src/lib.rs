@@ -55,15 +55,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod health;
 mod journal;
 mod metrics;
 mod span;
 
+pub use health::{Health, HealthSnapshot};
 pub use journal::{
     read_journal, Journal, JournalSink, JsonlSink, MemoryJournal, WaveDecisionRecord,
 };
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use span::{MemoryTraceSink, Span, SpanEvent, TraceSink};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    BUCKET_BOUNDS_NS, BUCKET_COUNT,
+};
+pub use span::{
+    trace_epoch_ns, ContextGuard, MemoryTraceSink, Span, SpanEvent, TraceContext, TraceSink,
+};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -99,6 +106,7 @@ struct TelemetryInner {
     registry: MetricsRegistry,
     journal: RwLock<Journal>,
     trace: RwLock<Option<Arc<dyn TraceSink>>>,
+    health: Health,
 }
 
 /// The unified telemetry handle: registry + journal + trace sink behind
@@ -193,6 +201,58 @@ impl Telemetry {
         *self.inner.trace.write() = sink;
     }
 
+    /// Whether a trace sink is attached (spans carry causal identity).
+    #[must_use]
+    pub fn has_trace_sink(&self) -> bool {
+        self.inner.trace.read().is_some()
+    }
+
+    /// Captures the current thread's position in the causal tree, for
+    /// re-entry on another thread via [`propagate`](Self::propagate).
+    /// `None` when disabled, when no trace sink is attached, or when the
+    /// thread is not inside a traced span.
+    #[must_use]
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        if !self.is_enabled() || !self.has_trace_sink() {
+            return None;
+        }
+        span::current_context()
+    }
+
+    /// Re-enters a captured [`TraceContext`] on the current thread: while
+    /// the returned guard lives, spans opened here become children of the
+    /// captured span. `None` (or a disabled handle) yields an inert
+    /// guard, so call sites can propagate unconditionally.
+    pub fn propagate(&self, ctx: Option<TraceContext>) -> ContextGuard {
+        match ctx {
+            Some(ctx) if self.is_enabled() => ContextGuard::enter(ctx),
+            _ => ContextGuard::inert(),
+        }
+    }
+
+    /// Emits a retrospective trace-only span for an operation measured by
+    /// the caller (e.g. a store op timed by its observer): recorded as a
+    /// child of the current thread's innermost span, with its start
+    /// back-dated by `elapsed`. Unlike [`span`](Self::span) this records
+    /// no histogram — it exists purely for the causal tree, and it is
+    /// dropped (never an orphan root) outside a traced region.
+    pub fn trace_event(&self, name: &'static str, tag: u64, elapsed: std::time::Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let Some(sink) = self.inner.trace.read().clone() else {
+            return;
+        };
+        span::emit_trace_event(&sink, name, tag, elapsed);
+    }
+
+    /// Live engine-health registers (phase, last wave, WAL lag) for the
+    /// observability plane's `/healthz`.
+    #[must_use]
+    pub fn health(&self) -> &Health {
+        &self.inner.health
+    }
+
     /// Writes one wave-decision record to every attached journal sink.
     /// No-op while disabled. A sink failure never propagates into the
     /// wave: it is counted into [`names::JOURNAL_ERRORS`] instead.
@@ -239,6 +299,12 @@ pub mod names {
     pub const WAVE_LATENCY: &str = "wms.wave";
     /// Latency of one step execution.
     pub const STEP_LATENCY: &str = "wms.step";
+    /// End-to-end latency of one step's run under its retry budget
+    /// (attempts plus backoff delays); the step-level trace span.
+    pub const STEP_TOTAL_LATENCY: &str = "wms.step_total";
+    /// Latency of one step attempt (each retry is its own attempt span,
+    /// a child of the step's [`STEP_TOTAL_LATENCY`] span).
+    pub const STEP_ATTEMPT_LATENCY: &str = "wms.step_attempt";
     /// Steps executed.
     pub const STEPS_EXECUTED: &str = "wms.steps_executed";
     /// Steps skipped by the trigger policy.
@@ -289,6 +355,10 @@ pub mod names {
     pub const RECOVERIES: &str = "durability.recoveries";
     /// Latency of WAL fsyncs.
     pub const FSYNC_LATENCY: &str = "durability.fsync";
+    /// Latency of one wave's WAL group-commit (sort + append + sync).
+    pub const WAL_COMMIT_LATENCY: &str = "durability.commit";
+    /// Latency of one checkpoint write (store export + file + compaction).
+    pub const CHECKPOINT_WRITE_LATENCY: &str = "durability.checkpoint_write";
 }
 
 #[cfg(test)]

@@ -62,8 +62,10 @@ impl Gauge {
 
 /// Upper bucket boundaries in nanoseconds: a 1–2–5 progression from 1 µs to
 /// 100 s, plus a catch-all overflow bucket. Fixed buckets keep recording a
-/// single array index + atomic increment with no allocation.
-const BUCKET_BOUNDS_NS: [u64; 25] = [
+/// single array index + atomic increment with no allocation. Public so
+/// exposition layers (OpenMetrics `le` labels, trace exporters) can render
+/// the buckets loss-free from a [`HistogramSnapshot`].
+pub const BUCKET_BOUNDS_NS: [u64; 25] = [
     1_000,
     2_000,
     5_000,
@@ -91,10 +93,14 @@ const BUCKET_BOUNDS_NS: [u64; 25] = [
     100_000_000_000,
 ];
 
+/// Number of histogram buckets: one per bound in [`BUCKET_BOUNDS_NS`]
+/// plus the overflow (`+Inf`) bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
+
 /// A fixed-bucket latency histogram (nanosecond resolution).
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    buckets: [AtomicU64; BUCKET_COUNT],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
@@ -136,11 +142,8 @@ impl Histogram {
     /// Captures a consistent-enough view of the histogram for reporting.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let buckets: [u64; BUCKET_COUNT] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let count: u64 = buckets.iter().sum();
         let sum_ns = self.sum_ns.load(Ordering::Relaxed);
         HistogramSnapshot {
@@ -150,6 +153,7 @@ impl Histogram {
             p50_ns: percentile(&buckets, count, 0.50),
             p95_ns: percentile(&buckets, count, 0.95),
             p99_ns: percentile(&buckets, count, 0.99),
+            buckets,
         }
     }
 }
@@ -185,6 +189,11 @@ pub struct HistogramSnapshot {
     pub p95_ns: u64,
     /// 99th percentile, in nanoseconds.
     pub p99_ns: u64,
+    /// Per-bucket observation counts. Index `i < BUCKET_BOUNDS_NS.len()`
+    /// counts observations `<= BUCKET_BOUNDS_NS[i]`; the final slot is the
+    /// overflow (`+Inf`) bucket. Carried so exposition formats can render
+    /// cumulative buckets loss-free.
+    pub buckets: [u64; BUCKET_COUNT],
 }
 
 impl HistogramSnapshot {
@@ -413,6 +422,27 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 1);
         assert_eq!(s.p50_ns, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_buckets_round_trip_observations() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1)); // bucket index 0 (<= 1_000 ns)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1)); // bucket for 1_000_000 ns
+        }
+        h.record(Duration::from_secs(1000)); // overflow bucket
+        let s = h.snapshot();
+        let ms_idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| b == 1_000_000)
+            .unwrap();
+        assert_eq!(s.buckets[0], 90);
+        assert_eq!(s.buckets[ms_idx], 10);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
     }
 
     #[test]

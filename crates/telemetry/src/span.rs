@@ -4,9 +4,28 @@
 //! A [`Span`] costs one `Instant::now()` on creation and one histogram
 //! record on drop. When telemetry is disabled the guard is inert — no
 //! clock read, no allocation.
+//!
+//! # Causal tracing
+//!
+//! When a [`TraceSink`] is attached, every span additionally carries a
+//! **trace identity**: a `trace_id` shared by all spans of one causal
+//! tree (one wave, in SmartFlux), a unique `span_id`, and the `parent_id`
+//! of the enclosing span. Parentage is tracked through a per-thread
+//! context stack: a span opened while another span is live on the same
+//! thread becomes its child; a span opened with no live context starts a
+//! new trace and becomes its root.
+//!
+//! Work handed to other threads keeps its causal link explicitly: capture
+//! [`Telemetry::trace_context`] before spawning and re-enter it on the
+//! worker with [`Telemetry::propagate`].
+//!
+//! [`Telemetry::trace_context`]: crate::Telemetry::trace_context
+//! [`Telemetry::propagate`]: crate::Telemetry::propagate
 
+use std::cell::RefCell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -26,8 +45,143 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Optional numeric tag (e.g. the wave number), `u64::MAX` when unset.
     pub tag: u64,
+    /// Identity of the causal tree this span belongs to; `0` when the
+    /// span completed without a trace sink attached (untraced).
+    pub trace_id: u64,
+    /// Unique identity of this span; `0` when untraced.
+    pub span_id: u64,
+    /// The enclosing span's id, `0` for a trace root.
+    pub parent_id: u64,
+    /// Start time as nanoseconds since the process trace epoch
+    /// ([`trace_epoch_ns`]); `0` when untraced.
+    pub start_ns: u64,
     /// Wall-clock duration of the span.
     pub elapsed: Duration,
+}
+
+impl SpanEvent {
+    /// Whether the event carries trace identity (a sink was attached).
+    #[must_use]
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Whether this span is the root of its trace.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.is_traced() && self.parent_id == 0
+    }
+}
+
+/// Identity counter shared by span ids and trace ids; `0` is reserved for
+/// "untraced"/"no parent".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The process-wide instant all `start_ns` offsets are measured from,
+/// fixed on first use.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process trace epoch.
+///
+/// All [`SpanEvent::start_ns`] values share this origin, so exporters can
+/// place spans from different threads on one timeline without reading any
+/// ambient clock themselves.
+#[must_use]
+pub fn trace_epoch_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A captured point in the causal tree, for crossing thread boundaries.
+///
+/// Obtained from [`Telemetry::trace_context`] on the spawning thread and
+/// re-entered with [`Telemetry::propagate`] on the worker, so spans (and
+/// trace events) opened on the worker stay children of the spawner's
+/// current span.
+///
+/// [`Telemetry::trace_context`]: crate::Telemetry::trace_context
+/// [`Telemetry::propagate`]: crate::Telemetry::propagate
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace the capturing thread was inside.
+    pub trace_id: u64,
+    /// The span that was innermost when the context was captured.
+    pub parent_span: u64,
+}
+
+thread_local! {
+    /// Stack of live span identities on this thread; the top entry is the
+    /// parent of the next span opened here.
+    static CONTEXT: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost live context on this thread, if any.
+pub(crate) fn current_context() -> Option<TraceContext> {
+    CONTEXT.with(|c| c.borrow().last().copied())
+}
+
+/// Pushes `entry` and returns it for symmetry with [`pop_context`].
+fn push_context(entry: TraceContext) {
+    CONTEXT.with(|c| c.borrow_mut().push(entry));
+}
+
+/// Removes the topmost entry whose span matches `span_id`. Searching from
+/// the top tolerates out-of-order guard drops without corrupting the rest
+/// of the stack.
+fn pop_context(span_id: u64) {
+    CONTEXT.with(|c| {
+        let mut stack = c.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|e| e.parent_span == span_id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// RAII guard re-entering a [`TraceContext`] on the current thread.
+///
+/// Returned by [`Telemetry::propagate`]; while alive, spans opened on
+/// this thread parent under the captured context. Must be dropped on the
+/// thread that created it.
+///
+/// [`Telemetry::propagate`]: crate::Telemetry::propagate
+#[must_use = "the context is only active while the guard lives"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    entered: Option<TraceContext>,
+    // Thread-local bookkeeping: keep the guard on its creating thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ContextGuard {
+    pub(crate) fn inert() -> Self {
+        Self {
+            entered: None,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    pub(crate) fn enter(ctx: TraceContext) -> Self {
+        push_context(ctx);
+        Self {
+            entered: Some(ctx),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.entered.take() {
+            pop_context(ctx.parent_span);
+        }
+    }
 }
 
 /// A trace sink retaining every event in memory (tests, inspection).
@@ -68,19 +222,28 @@ impl TraceSink for MemoryTraceSink {
     }
 }
 
+/// Trace identity assigned to a live traced span.
+struct SpanIds {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
+}
+
 struct ActiveSpan {
     name: &'static str,
     tag: u64,
     start: Instant,
     histogram: Arc<Histogram>,
-    trace: Option<Arc<dyn TraceSink>>,
+    trace: Option<(Arc<dyn TraceSink>, SpanIds)>,
 }
 
 /// An RAII timing guard; records its lifetime on drop.
 ///
 /// Obtained from [`Telemetry::span`](crate::Telemetry::span) or the
 /// [`span!`](crate::span!) macro. Inert (all no-ops) when telemetry is
-/// disabled.
+/// disabled. With a [`TraceSink`] attached the span also carries trace
+/// identity and registers itself as the current parent on this thread.
 #[must_use = "a span records its timing when dropped"]
 pub struct Span {
     inner: Option<ActiveSpan>,
@@ -98,6 +261,26 @@ impl Span {
         histogram: Arc<Histogram>,
         trace: Option<Arc<dyn TraceSink>>,
     ) -> Self {
+        let trace = trace.map(|sink| {
+            let span_id = next_id();
+            let (trace_id, parent_id) = match current_context() {
+                Some(ctx) => (ctx.trace_id, ctx.parent_span),
+                None => (next_id(), 0),
+            };
+            push_context(TraceContext {
+                trace_id,
+                parent_span: span_id,
+            });
+            (
+                sink,
+                SpanIds {
+                    trace_id,
+                    span_id,
+                    parent_id,
+                    start_ns: trace_epoch_ns(),
+                },
+            )
+        });
         Self {
             inner: Some(ActiveSpan {
                 name,
@@ -121,15 +304,47 @@ impl Drop for Span {
         if let Some(active) = self.inner.take() {
             let elapsed = active.start.elapsed();
             active.histogram.record(elapsed);
-            if let Some(trace) = &active.trace {
-                trace.span_completed(&SpanEvent {
+            if let Some((sink, ids)) = &active.trace {
+                pop_context(ids.span_id);
+                sink.span_completed(&SpanEvent {
                     name: active.name,
                     tag: active.tag,
+                    trace_id: ids.trace_id,
+                    span_id: ids.span_id,
+                    parent_id: ids.parent_id,
+                    start_ns: ids.start_ns,
                     elapsed,
                 });
             }
         }
     }
+}
+
+/// Emits a retrospective child span: an operation that already happened
+/// (its `elapsed` was measured by the caller) recorded into `sink` under
+/// the current thread context. Returns silently when the thread is not
+/// inside a trace, so after-the-fact events can never create orphan
+/// roots.
+pub(crate) fn emit_trace_event(
+    sink: &Arc<dyn TraceSink>,
+    name: &'static str,
+    tag: u64,
+    elapsed: Duration,
+) {
+    let Some(ctx) = current_context() else {
+        return;
+    };
+    let end_ns = trace_epoch_ns();
+    let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    sink.span_completed(&SpanEvent {
+        name,
+        tag,
+        trace_id: ctx.trace_id,
+        span_id: next_id(),
+        parent_id: ctx.parent_span,
+        start_ns: end_ns.saturating_sub(elapsed_ns),
+        elapsed,
+    });
 }
 
 impl fmt::Debug for Span {
@@ -183,6 +398,8 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "op");
         assert_eq!(events[0].tag, 3);
+        assert!(events[0].is_traced());
+        assert!(events[0].is_root());
     }
 
     #[test]
@@ -190,5 +407,100 @@ mod tests {
         let s = Span::disabled();
         assert!(!s.is_recording());
         drop(s);
+    }
+
+    #[test]
+    fn nested_spans_form_a_tree() {
+        let h = Arc::new(Histogram::default());
+        let trace = Arc::new(MemoryTraceSink::new());
+        {
+            let _root = Span::start("root", 1, Arc::clone(&h), Some(trace.clone() as _));
+            {
+                let _child = Span::start("child", 2, Arc::clone(&h), Some(trace.clone() as _));
+                let _grandchild =
+                    Span::start("grandchild", 3, Arc::clone(&h), Some(trace.clone() as _));
+            }
+            let _sibling = Span::start("sibling", 4, Arc::clone(&h), Some(trace.clone() as _));
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 4);
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let root = by_name("root");
+        assert!(root.is_root());
+        assert_eq!(by_name("child").parent_id, root.span_id);
+        assert_eq!(by_name("sibling").parent_id, root.span_id);
+        assert_eq!(by_name("grandchild").parent_id, by_name("child").span_id);
+        assert!(events.iter().all(|e| e.trace_id == root.trace_id));
+        // Start offsets are monotone with nesting.
+        assert!(by_name("child").start_ns >= root.start_ns);
+    }
+
+    #[test]
+    fn untraced_spans_have_zero_identity() {
+        let h = Arc::new(Histogram::default());
+        // No sink: spans must not pay for (or leak) context entries.
+        {
+            let _s = Span::start("plain", 1, Arc::clone(&h), None);
+            assert!(current_context().is_none());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn sequential_roots_get_distinct_traces() {
+        let h = Arc::new(Histogram::default());
+        let trace = Arc::new(MemoryTraceSink::new());
+        for tag in 0..3 {
+            let _s = Span::start("wave", tag, Arc::clone(&h), Some(trace.clone() as _));
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        let mut ids: Vec<u64> = events.iter().map(|e| e.trace_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "each root starts its own trace");
+    }
+
+    #[test]
+    fn context_guard_links_across_threads() {
+        let h = Arc::new(Histogram::default());
+        let trace = Arc::new(MemoryTraceSink::new());
+        let parent_ctx;
+        {
+            let _root = Span::start("root", 0, Arc::clone(&h), Some(trace.clone() as _));
+            parent_ctx = current_context().unwrap();
+            let h2 = Arc::clone(&h);
+            let t2 = trace.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _g = ContextGuard::enter(parent_ctx);
+                    let _child = Span::start("remote", 1, h2, Some(t2 as _));
+                });
+            });
+        }
+        let events = trace.events();
+        let root = events.iter().find(|e| e.name == "root").unwrap();
+        let remote = events.iter().find(|e| e.name == "remote").unwrap();
+        assert_eq!(remote.trace_id, root.trace_id);
+        assert_eq!(remote.parent_id, root.span_id);
+    }
+
+    #[test]
+    fn emit_trace_event_requires_a_live_context() {
+        let trace: Arc<dyn TraceSink> = Arc::new(MemoryTraceSink::new());
+        // Outside any span: nothing is emitted (no orphan roots).
+        emit_trace_event(&trace, "op", 0, Duration::from_micros(5));
+        let mem = Arc::new(MemoryTraceSink::new());
+        let sink: Arc<dyn TraceSink> = mem.clone();
+        let h = Arc::new(Histogram::default());
+        {
+            let _root = Span::start("root", 0, Arc::clone(&h), Some(mem.clone() as _));
+            emit_trace_event(&sink, "op", 7, Duration::from_micros(5));
+        }
+        let events = mem.events();
+        assert_eq!(events.len(), 2);
+        let op = events.iter().find(|e| e.name == "op").unwrap();
+        let root = events.iter().find(|e| e.name == "root").unwrap();
+        assert_eq!(op.parent_id, root.span_id);
+        assert_eq!(op.trace_id, root.trace_id);
     }
 }

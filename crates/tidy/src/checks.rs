@@ -110,8 +110,9 @@ impl fmt::Display for Diagnostic {
 /// Internal crates (prefix match for `smartflux`) and their permitted
 /// internal dependencies — the documented architecture. Crates absent from
 /// this table may depend on every internal crate (leaf consumers).
-const LAYERING: [(&str, &[&str]); 10] = [
+const LAYERING: [(&str, &[&str]); 11] = [
     ("smartflux-telemetry", &[]),
+    ("smartflux-obs", &["smartflux-telemetry"]),
     ("smartflux-datastore", &[]),
     ("smartflux-ml", &[]),
     ("smartflux-tidy", &[]),
@@ -238,12 +239,13 @@ pub fn check_panic(file: &SourceFile) -> Vec<Diagnostic> {
 
 /// Crates that must use the vendored `parking_lot` instead of `std::sync`
 /// locks.
-pub const PARKING_LOT_CRATES: [&str; 5] = [
+pub const PARKING_LOT_CRATES: [&str; 6] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-telemetry",
     "smartflux-durability",
+    "smartflux-obs",
 ];
 
 /// Flags `std::sync::Mutex`/`RwLock` usage in parking_lot crates.
@@ -410,11 +412,12 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 }
 
 /// Crates whose telemetry call sites must be guard-checked.
-pub const TELEMETRY_GUARD_CRATES: [&str; 4] = [
+pub const TELEMETRY_GUARD_CRATES: [&str; 5] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-durability",
+    "smartflux-obs",
 ];
 
 const METRIC_TOKENS: [&str; 3] = [".counter(", ".histogram(", ".gauge("];
@@ -542,7 +545,7 @@ pub fn check_time(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 
 /// Crates whose `src/lib.rs` must carry `#![warn(missing_docs)]` (every
 /// internal crate except the bench harness opts in).
-pub const MISSING_DOCS_OPT_IN: [&str; 8] = [
+pub const MISSING_DOCS_OPT_IN: [&str; 9] = [
     "smartflux",
     "smartflux-datastore",
     "smartflux-wms",
@@ -551,6 +554,7 @@ pub const MISSING_DOCS_OPT_IN: [&str; 8] = [
     "smartflux-workloads",
     "smartflux-tidy",
     "smartflux-durability",
+    "smartflux-obs",
 ];
 
 /// Tabs, trailing whitespace, `dbg!`, `TODO`/`FIXME` without an issue

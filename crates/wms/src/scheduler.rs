@@ -55,7 +55,12 @@ struct StepExecution {
 /// bounded by a watchdog timeout. A fresh [`StepContext`] is built per
 /// attempt. Runs on the calling thread, so the parallel scheduler invokes
 /// it from each worker and sibling backoffs overlap instead of serialising.
+///
+/// Each attempt opens a `wms.step_attempt` span (tag = attempt number), so
+/// retries show up as sibling children of the enclosing step span in trace
+/// trees.
 fn run_step_with_retry(
+    telemetry: &Telemetry,
     implementation: &Arc<dyn Step>,
     retry: RetryPolicy,
     store: &DataStore,
@@ -71,9 +76,14 @@ fn run_step_with_retry(
             std::thread::sleep(delay);
         }
         let ctx = StepContext::new(store.clone(), wave, step, name);
-        let result = match retry.timeout() {
-            None => attempt_inline(implementation, &ctx),
-            Some(limit) => attempt_with_watchdog(Arc::clone(implementation), ctx, limit),
+        let result = {
+            let _attempt_span = telemetry.span(names::STEP_ATTEMPT_LATENCY, u64::from(attempts));
+            match retry.timeout() {
+                None => attempt_inline(implementation, &ctx),
+                Some(limit) => {
+                    attempt_with_watchdog(telemetry, Arc::clone(implementation), ctx, limit)
+                }
+            }
         };
         match result {
             Ok(elapsed) => {
@@ -117,12 +127,18 @@ fn attempt_inline(
 /// the background (it keeps its own store clone) — which is why steps
 /// under a timeout should be idempotent per wave.
 fn attempt_with_watchdog(
+    telemetry: &Telemetry,
     implementation: Arc<dyn Step>,
     ctx: StepContext,
     limit: Duration,
 ) -> Result<Duration, StepError> {
     let (tx, rx) = unbounded();
+    // Hand the current trace context to the worker thread so store-op
+    // trace events emitted by the step still parent under its attempt span.
+    let trace_ctx = telemetry.trace_context();
+    let worker_telemetry = telemetry.clone();
     std::thread::spawn(move || {
+        let _trace_guard = worker_telemetry.propagate(trace_ctx);
         let _ = tx.send(attempt_inline(&implementation, &ctx));
     });
     match rx.recv_timeout(limit) {
@@ -307,8 +323,22 @@ impl Scheduler {
                     .clone();
                 let retry = self.workflow.info(step).retry();
                 let name = self.workflow.graph().step_name(step).to_owned();
-                let exec =
-                    run_step_with_retry(&implementation, retry, &self.store, wave, step, &name);
+                let exec = {
+                    // Scoped so the step span closes before policy callbacks
+                    // run; the span's tag is the step index.
+                    let _step_span = self
+                        .telemetry
+                        .span(names::STEP_TOTAL_LATENCY, step.index() as u64);
+                    run_step_with_retry(
+                        &self.telemetry,
+                        &implementation,
+                        retry,
+                        &self.store,
+                        wave,
+                        step,
+                        &name,
+                    )
+                };
                 self.publish_retries(wave, step, exec.attempts);
                 match exec.outcome {
                     Ok(elapsed) => {
@@ -453,6 +483,9 @@ impl Scheduler {
                     .clone();
                 implementations.push(implementation);
             }
+            // Capture the wave span's trace context once; each worker
+            // re-enters it so its step span parents under the wave root.
+            let trace_ctx = self.telemetry.trace_context();
             let results: Vec<(StepId, StepExecution)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = to_run
                     .iter()
@@ -461,8 +494,20 @@ impl Scheduler {
                         let name = self.workflow.graph().step_name(step);
                         let retry = self.workflow.info(step).retry();
                         let store = &self.store;
+                        let telemetry = &self.telemetry;
                         scope.spawn(move || {
-                            run_step_with_retry(implementation, retry, store, wave, step, name)
+                            let _trace_guard = telemetry.propagate(trace_ctx);
+                            let _step_span =
+                                telemetry.span(names::STEP_TOTAL_LATENCY, step.index() as u64);
+                            run_step_with_retry(
+                                telemetry,
+                                implementation,
+                                retry,
+                                store,
+                                wave,
+                                step,
+                                name,
+                            )
                         })
                     })
                     .collect();
@@ -1014,6 +1059,13 @@ mod tests {
         assert_eq!(snap.counter(names::STEPS_SKIPPED), 2);
         assert_eq!(snap.histogram(names::STEP_LATENCY).unwrap().count, 6);
         assert!(snap.histogram(names::STEP_LATENCY).unwrap().p95_ns > 0);
+        // The step/attempt spans record alongside the legacy histogram:
+        // 6 executions, each a single attempt.
+        assert_eq!(snap.histogram(names::STEP_TOTAL_LATENCY).unwrap().count, 6);
+        assert_eq!(
+            snap.histogram(names::STEP_ATTEMPT_LATENCY).unwrap().count,
+            6
+        );
     }
 
     #[test]

@@ -13,8 +13,10 @@ use smartflux_telemetry::{names, MetricsSnapshot};
 /// Version of the `diagnose --json` object layout.
 ///
 /// History: 1 = original flat layout with always-present sections;
-/// 2 = added `schema_version`, empty sections omitted.
-pub const SCHEMA_VERSION: u64 = 2;
+/// 2 = added `schema_version`, empty sections omitted;
+/// 3 = added the `static_analysis` section (tidy findings + lock-order
+/// graph summary), present whenever the workspace sources are reachable.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The `fault_tolerance` section, or `None` when the run saw no aborts,
 /// retries, failures, or SDF fallbacks (nothing to report).
@@ -66,6 +68,47 @@ pub fn store_json(snapshot: &MetricsSnapshot) -> Option<String> {
         snapshot.gauge(names::STORE_SHARD_READ_CONTENTION),
         snapshot.gauge(names::STORE_SHARD_WRITE_CONTENTION),
         snapshot.gauge(names::STORE_QUIESCES),
+    ))
+}
+
+/// The `static_analysis` section: a fresh tidy run over the workspace
+/// sources, summarized (finding counts per check, lock-order cycle and
+/// edge totals). `None` when no workspace root is reachable from the
+/// current directory — e.g. an installed binary run outside the repo —
+/// matching the omit-empty doctrine above.
+///
+/// This re-analyzes the sources on every call (~half a second for the
+/// full workspace); `diagnose` is a diagnostic tool, staleness would be
+/// worse than the latency.
+#[must_use]
+pub fn static_analysis_json() -> Option<String> {
+    use smartflux_tidy::checks::ALL_CHECKS;
+    use smartflux_tidy::runner;
+
+    let cwd = std::env::current_dir().ok()?;
+    let root = runner::find_workspace_root(&cwd).ok()?;
+    let units = runner::load_workspace(&root).ok()?;
+    let report = runner::run_checks_full(&units, &ALL_CHECKS);
+
+    let mut by_check: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for d in &report.diagnostics {
+        *by_check.entry(d.check.as_str()).or_insert(0) += 1;
+    }
+    let by_check = by_check
+        .iter()
+        .map(|(check, n)| format!("\"{check}\":{n}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let cycles: usize = report.lock_graphs.iter().map(|g| g.cycles).sum();
+    let edges: usize = report.lock_graphs.iter().map(|g| g.edges.len()).sum();
+    Some(format!(
+        "{{\"checks\":{},\"files\":{},\"crates\":{},\"finding_count\":{},\
+         \"findings_by_check\":{{{by_check}}},\
+         \"lock_order\":{{\"cycles\":{cycles},\"edges\":{edges}}}}}",
+        ALL_CHECKS.len(),
+        units.iter().map(|u| u.files.len()).sum::<usize>(),
+        units.len(),
+        report.diagnostics.len(),
     ))
 }
 
@@ -125,6 +168,21 @@ mod tests {
         assert!(sections.starts_with(",\"fault_tolerance\":{"));
         assert!(sections.contains(",\"durability\":{"));
         assert!(sections.contains(",\"store\":{"));
+    }
+
+    #[test]
+    fn static_analysis_section_reports_a_clean_lock_graph() {
+        // Tests run with the crate directory as cwd, inside the workspace,
+        // so the section must materialize — and the workspace itself must
+        // be deadlock-free (the same invariant CI's tidy job enforces).
+        match static_analysis_json() {
+            Some(json) => {
+                assert!(json.contains("\"lock_order\":{\"cycles\":0"), "{json}");
+                assert!(json.contains("\"finding_count\":"), "{json}");
+                assert!(json.contains("\"findings_by_check\":{"), "{json}");
+            }
+            None => unreachable!("workspace root not reachable from test cwd"),
+        }
     }
 
     #[test]

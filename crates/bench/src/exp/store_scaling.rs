@@ -101,7 +101,6 @@ fn run_once(policy: ShardPolicy, threads: usize, write_percent: u64) -> (f64, u6
     let store = build_store(policy);
     let populated = store.shard_stats();
     let per_thread = TOTAL_OPS / threads;
-    // tidy:allow(time): this is the measurement site of the micro-bench
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -203,9 +202,7 @@ fn run_scan_write(policy: ShardPolicy, threads: usize) -> (f64, u64, u64) {
                 let family = FAMILIES[(scanners + w) % FAMILIES.len()];
                 let mut rng = Rng((w as u64 + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB));
                 let mut local = 0u64;
-                // tidy:allow(time): this is the measurement site of the micro-bench
                 let deadline = Instant::now() + SCAN_WRITE_BUDGET;
-                // tidy:allow(time): this is the measurement site of the micro-bench
                 while Instant::now() < deadline {
                     for _ in 0..64 {
                         let row = format!("r{}", rng.next() % ROWS as u64);

@@ -45,7 +45,9 @@ type ShardData = BTreeMap<String, BTreeMap<String, ColumnFamily>>;
 #[derive(Default)]
 struct Shard {
     data: RwLock<ShardData>,
+    // tidy:atomic(read_contention: relaxed): monitoring counter; no other data is ordered by it
     read_contention: AtomicU64,
+    // tidy:atomic(write_contention: relaxed): monitoring counter; no other data is ordered by it
     write_contention: AtomicU64,
 }
 
@@ -58,8 +60,11 @@ struct StoreShared {
     registry: RwLock<BTreeSet<String>>,
     /// Logical write clock. Only advanced while holding the write guard of
     /// the shard being mutated, so per-cell timestamps order like applies.
+    // tidy:atomic(clock: load=acquire, store=release, rmw=relaxed): advances happen under the shard write guard, so rmw needs no extra ordering; recovery publishes a restored clock with release and snapshot readers pair with acquire
     clock: AtomicU64,
+    // tidy:atomic(max_versions: relaxed): config scalar read on its own; the shard guard orders it against cell data
     max_versions: AtomicUsize,
+    // tidy:atomic(quiesces: relaxed): monitoring counter; no other data is ordered by it
     quiesces: AtomicU64,
 }
 
@@ -89,10 +94,12 @@ pub struct DataStore {
     shared: Arc<StoreShared>,
     observers: Arc<RwLock<ObserverBus>>,
     // Mirror of observers.len(), so unobserved writes skip the bus lock.
+    // tidy:atomic(observer_count: load=relaxed, store=release): fast-path hint only — a stale zero skips the bus lock briefly, and the bus RwLock is the true synchronizer
     observer_count: Arc<AtomicUsize>,
     op_observers: Arc<RwLock<OpObserverBus>>,
     // Mirror of op_observers.len(), so the per-operation fast path is one
     // relaxed load instead of a lock acquisition.
+    // tidy:atomic(op_observer_count: load=relaxed, store=release): fast-path hint only — a stale zero skips the bus lock briefly, and the bus RwLock is the true synchronizer
     op_observer_count: Arc<AtomicUsize>,
 }
 

@@ -17,7 +17,13 @@ use smartflux_datastore::{
 };
 
 const THREADS: usize = 4;
+// Miri interprets every operation and runs orders of magnitude slower
+// than native; a smaller hammer still drives the same cross-shard and
+// dispatch-list interleavings the suite exists to check.
+#[cfg(not(miri))]
 const PUTS_PER_THREAD: usize = 1_000;
+#[cfg(miri)]
+const PUTS_PER_THREAD: usize = 25;
 
 fn sharded_store(tables: &[&str]) -> DataStore {
     let store = DataStore::with_shard_policy(ShardPolicy::Auto);

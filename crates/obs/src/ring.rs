@@ -21,6 +21,7 @@ use smartflux_telemetry::{JournalSink, SpanEvent, TraceSink, WaveDecisionRecord}
 #[derive(Debug)]
 pub struct RingTraceSink {
     slots: Vec<Mutex<Option<SpanEvent>>>,
+    // tidy:atomic(head: acq-rel): claim counter — acq-rel claims pair with acquire reads so a reader never walks slots ahead of the claims it observed
     head: AtomicU64,
 }
 
@@ -44,7 +45,7 @@ impl RingTraceSink {
     /// Total spans ever recorded (not the retained count).
     #[must_use]
     pub fn recorded(&self) -> u64 {
-        self.head.load(Ordering::Relaxed)
+        self.head.load(Ordering::Acquire)
     }
 
     /// Copies the retained spans out, oldest first.
@@ -83,6 +84,7 @@ impl TraceSink for RingTraceSink {
 #[derive(Debug)]
 pub struct RingJournal {
     slots: Vec<Mutex<Option<WaveDecisionRecord>>>,
+    // tidy:atomic(head: acq-rel): claim counter — acq-rel claims pair with acquire reads so a reader never walks slots ahead of the claims it observed
     head: AtomicU64,
 }
 

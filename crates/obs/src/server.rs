@@ -54,6 +54,7 @@ pub struct ObsSources {
 #[derive(Debug)]
 pub struct ObsServer {
     addr: SocketAddr,
+    // tidy:atomic(stop: acq-rel): shutdown flag — release store publishes the decision, acquire loads in workers observe it; nothing here needs a total order
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -94,7 +95,7 @@ impl ObsServer {
 
     /// Stops accepting, unblocks every worker, and joins them.
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         // One dummy connection per worker pops each out of accept().
         for _ in &self.workers {
             let _ = TcpStream::connect(self.addr);
@@ -108,12 +109,12 @@ impl ObsServer {
 fn worker_loop(listener: &TcpListener, sources: &ObsSources, stop: &AtomicBool) {
     loop {
         let Ok((mut stream, _peer)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
+            if stop.load(Ordering::Acquire) {
                 return;
             }
             continue;
         };
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::Acquire) {
             return;
         }
         let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));

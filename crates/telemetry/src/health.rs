@@ -19,9 +19,12 @@ use crate::span::trace_epoch_ns;
 #[derive(Debug)]
 pub struct Health {
     phase: RwLock<&'static str>,
+    // tidy:atomic(last_wave: relaxed): liveness gauge sampled by /health — a stale value only ages the report by one poll
     last_wave: AtomicU64,
     /// Trace-epoch nanoseconds of the last `note_wave`; `0` = never.
+    // tidy:atomic(last_wave_at_ns: relaxed): liveness gauge sampled by /health — a stale value only ages the report by one poll
     last_wave_at_ns: AtomicU64,
+    // tidy:atomic(wal_lag_bytes: relaxed): liveness gauge sampled by /health — a stale value only ages the report by one poll
     wal_lag_bytes: AtomicU64,
 }
 

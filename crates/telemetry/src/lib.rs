@@ -102,6 +102,7 @@ pub fn json_string(s: &str) -> String {
 
 #[derive(Debug, Default)]
 struct TelemetryInner {
+    // tidy:atomic(enabled: relaxed): advisory on/off flag — callers tolerate a briefly stale read, and no data is published through it
     enabled: AtomicBool,
     registry: MetricsRegistry,
     journal: RwLock<Journal>,

@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {
+    // tidy:atomic(value: relaxed): metrics cell — scrapes tolerate torn cross-metric views, and no other data is ordered by it
     value: AtomicU64,
 }
 
@@ -39,6 +40,7 @@ impl Counter {
 /// A gauge holding the latest observed value (signed).
 #[derive(Debug, Default)]
 pub struct Gauge {
+    // tidy:atomic(value: relaxed): metrics cell — scrapes tolerate torn cross-metric views, and no other data is ordered by it
     value: AtomicI64,
 }
 
@@ -100,9 +102,13 @@ pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
 /// A fixed-bucket latency histogram (nanosecond resolution).
 #[derive(Debug)]
 pub struct Histogram {
+    // tidy:atomic(buckets: relaxed): metrics cells — a scrape may see a bucket bump before the count; consumers only ever aggregate
     buckets: [AtomicU64; BUCKET_COUNT],
+    // tidy:atomic(count: relaxed): metrics cells — a scrape may see a bucket bump before the count; consumers only ever aggregate
     count: AtomicU64,
+    // tidy:atomic(sum_ns: relaxed): metrics cells — a scrape may see a bucket bump before the count; consumers only ever aggregate
     sum_ns: AtomicU64,
+    // tidy:atomic(max_ns: relaxed): metrics cells — a scrape may see a bucket bump before the count; consumers only ever aggregate
     max_ns: AtomicU64,
 }
 

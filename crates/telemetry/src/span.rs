@@ -75,6 +75,7 @@ impl SpanEvent {
 
 /// Identity counter shared by span ids and trace ids; `0` is reserved for
 /// "untraced"/"no parent".
+// tidy:atomic(NEXT_ID: relaxed): id allocator — uniqueness is all that matters, the fetch_add's atomicity alone provides it
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 fn next_id() -> u64 {

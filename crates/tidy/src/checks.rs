@@ -3,8 +3,12 @@
 //! Every check consumes the [`SourceFile`]/[`Manifest`] models and emits
 //! [`Diagnostic`]s in the `file:line: tidy(<check-id>): message` format.
 //! Checks that inspect source text only ever look at the lexed *code*
-//! view, so nothing fires inside strings or comments; suppressions use
-//! machine-readable `// tidy:allow(<check-id>): <reason>` comments.
+//! view, so nothing fires inside strings or comments.
+//!
+//! Checks emit *raw* findings without consulting `tidy:allow` comments;
+//! the runner filters suppressed findings centrally so it can also tell
+//! which suppressions were actually used (a `tidy:allow` that suppresses
+//! nothing is itself a finding, `allow-dangling`).
 
 use std::fmt;
 
@@ -28,10 +32,18 @@ pub enum CheckId {
     Time,
     /// Tabs, trailing whitespace, `dbg!`, unreferenced `TODO`s, lint headers.
     Hygiene,
+    /// No cycle in the interprocedural lock-order graph.
+    LockOrder,
+    /// Every `Ordering::*` use matches the field's declared discipline.
+    AtomicOrdering,
+    /// No guard held across a blocking call (send/recv/join/file I/O).
+    GuardBlocking,
+    /// Every `tidy:allow` must suppress at least one finding.
+    AllowDangling,
 }
 
 /// All checks, in reporting order.
-pub const ALL_CHECKS: [CheckId; 7] = [
+pub const ALL_CHECKS: [CheckId; 11] = [
     CheckId::Layering,
     CheckId::Panic,
     CheckId::LockStd,
@@ -39,6 +51,10 @@ pub const ALL_CHECKS: [CheckId; 7] = [
     CheckId::TelemetryGuard,
     CheckId::Time,
     CheckId::Hygiene,
+    CheckId::LockOrder,
+    CheckId::AtomicOrdering,
+    CheckId::GuardBlocking,
+    CheckId::AllowDangling,
 ];
 
 impl CheckId {
@@ -54,6 +70,10 @@ impl CheckId {
             Self::TelemetryGuard => "telemetry-guard",
             Self::Time => "time",
             Self::Hygiene => "hygiene",
+            Self::LockOrder => "lock-order",
+            Self::AtomicOrdering => "atomic-ordering",
+            Self::GuardBlocking => "guard-blocking",
+            Self::AllowDangling => "allow-dangling",
         }
     }
 
@@ -74,6 +94,10 @@ impl CheckId {
             Self::TelemetryGuard => "metrics calls sit behind an is_enabled() guard",
             Self::Time => "no Instant::now()/SystemTime outside telemetry and bench",
             Self::Hygiene => "tabs, trailing whitespace, dbg!, TODO refs, lint headers",
+            Self::LockOrder => "no cycle in the interprocedural lock-order graph",
+            Self::AtomicOrdering => "atomic Ordering uses match the declared per-field discipline",
+            Self::GuardBlocking => "no guard held across a blocking call (send/recv/join/file I/O)",
+            Self::AllowDangling => "every tidy:allow suppresses at least one finding",
         }
     }
 }
@@ -205,7 +229,7 @@ pub fn check_panic(file: &SourceFile) -> Vec<Diagnostic> {
     }
     for (idx, line) in file.lines.iter().enumerate() {
         let ln = idx + 1;
-        if file.is_test_line(ln) || file.is_allowed(ln, CheckId::Panic.as_str()) {
+        if file.is_test_line(ln) {
             continue;
         }
         for token in PANIC_TOKENS {
@@ -257,7 +281,7 @@ pub fn check_lock_std(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
     }
     for (idx, line) in file.lines.iter().enumerate() {
         let ln = idx + 1;
-        if file.is_test_line(ln) || file.is_allowed(ln, CheckId::LockStd.as_str()) {
+        if file.is_test_line(ln) {
             continue;
         }
         let code = &line.code;
@@ -378,9 +402,7 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
                         break;
                     }
                 }
-                if CALLBACK_TOKENS.iter().any(|t| jcode.contains(t))
-                    && !file.is_allowed(jln, CheckId::LockSpan.as_str())
-                {
+                if CALLBACK_TOKENS.iter().any(|t| jcode.contains(t)) {
                     out.push(diag(
                         jln,
                         if for_loop {
@@ -389,15 +411,11 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
                             "callback invoked while a lock guard is in scope"
                         },
                     ));
-                    break;
                 }
             }
         }
 
         // Detection 3: `.lock().callback(...)` single-statement chains.
-        if file.is_allowed(ln, CheckId::LockSpan.as_str()) {
-            continue;
-        }
         for acquire in [".lock().", ".read().", ".write()."] {
             if let Some(pos) = code.find(acquire) {
                 let after = &code[pos + acquire.len() - 1..]; // keep the dot
@@ -460,10 +478,7 @@ pub fn check_telemetry_guard(file: &SourceFile, crate_name: &str) -> Vec<Diagnos
         // Treat a same-line `is_enabled()` as a guard (single-line bodies).
         let guarded =
             !if_guards.is_empty() || !early_guards.is_empty() || code.contains("is_enabled()");
-        if !file.is_test_line(ln)
-            && !guarded
-            && !file.is_allowed(ln, CheckId::TelemetryGuard.as_str())
-        {
+        if !file.is_test_line(ln) && !guarded {
             for token in METRIC_TOKENS {
                 if code.contains(token) {
                     out.push(Diagnostic {
@@ -521,7 +536,7 @@ pub fn check_time(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
     }
     for (idx, line) in file.lines.iter().enumerate() {
         let ln = idx + 1;
-        if file.is_test_line(ln) || file.is_allowed(ln, CheckId::Time.as_str()) {
+        if file.is_test_line(ln) {
             continue;
         }
         for token in ["Instant::now()", "SystemTime::now()", "SystemTime"] {
@@ -574,9 +589,6 @@ pub fn check_hygiene(file: &SourceFile, crate_name: &str, is_lib_root: bool) -> 
 
     for (idx, line) in file.lines.iter().enumerate() {
         let ln = idx + 1;
-        if file.is_allowed(ln, CheckId::Hygiene.as_str()) {
-            continue;
-        }
         if line.raw.contains('\t') {
             push(ln, "tab character (use spaces)".into());
         }

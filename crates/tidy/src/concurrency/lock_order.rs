@@ -1,0 +1,426 @@
+//! Interprocedural lock-order analysis.
+//!
+//! Every function gets an *acquisition summary*: the set of lock classes
+//! it may blocking-acquire, directly or through the (resolved part of
+//! the) call graph. Summaries reach a fixpoint by bounded iteration, so
+//! recursion and call cycles are tolerated. Lock-order *edges* are then
+//! `held → acquired` pairs: a direct acquisition made while another
+//! guard is live, or a call made while a guard is live to a function
+//! whose summary acquires something. Any cycle among distinct classes in
+//! the resulting graph is a potential deadlock and reports with a full
+//! witness path (site, function, and interprocedural call chain per
+//! edge).
+//!
+//! Two deliberate exclusions: self-edges (re-entrant acquisition of the
+//! same class is the `lock-span` / `guard-blocking` checks' territory and
+//! is often a shard-vs-shard false pair), and cycles whose every edge is
+//! read-mode-while-read-mode (`RwLock` readers don't block each other;
+//! the writer-priority caveat is documented in DESIGN.md §13).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use super::callgraph::{Model, Resolution};
+use super::LockMode;
+use crate::checks::{CheckId, Diagnostic};
+use crate::source::SourceFile;
+
+/// Cap on summary-propagation rounds; the call graph is shallow, so this
+/// only bounds pathological cycles.
+const MAX_ROUNDS: usize = 64;
+
+/// One lock-order edge with its witness provenance.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Class held when the acquisition happened.
+    pub from: String,
+    /// Mode the held guard was acquired with.
+    pub from_mode: LockMode,
+    /// Class acquired while `from` was held.
+    pub to: String,
+    /// Mode of the new acquisition.
+    pub to_mode: LockMode,
+    /// Workspace-relative path of the witness site.
+    pub path: String,
+    /// 1-based line of the witness site.
+    pub line: usize,
+    /// Function containing the witness site.
+    pub fn_name: String,
+    /// Interprocedural call chain from the witness site to the actual
+    /// acquisition (empty for direct acquisitions).
+    pub via: Vec<String>,
+}
+
+/// The per-crate lock-order graph, kept for the `--json` report.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Crate this graph describes.
+    pub crate_name: String,
+    /// Deduplicated edges.
+    pub edges: Vec<Edge>,
+    /// Number of deadlock cycles reported (0 on a clean workspace).
+    pub cycles: usize,
+}
+
+/// How a class entered a fn's summary.
+#[derive(Debug, Clone)]
+enum Origin {
+    /// Acquired directly in the fn body.
+    Direct,
+    /// Inherited from `callee`'s summary through a call.
+    Via { callee: usize },
+}
+
+#[derive(Debug, Clone)]
+struct SummaryEntry {
+    mode: LockMode,
+    origin: Origin,
+}
+
+/// Runs the pass over one crate's model. Returns the diagnostics (one per
+/// cycle) and the full edge graph.
+#[must_use]
+pub fn check(crate_name: &str, files: &[SourceFile], model: &Model) -> (Vec<Diagnostic>, LockGraph) {
+    let n = model.symbols.fns.len();
+    let mut summaries: Vec<BTreeMap<String, SummaryEntry>> = vec![BTreeMap::new(); n];
+
+    // Seed with direct blocking acquisitions.
+    for (fid, facts) in model.facts.iter().enumerate() {
+        for acq in &facts.acqs {
+            summaries[fid]
+                .entry(acq.class.clone())
+                .or_insert(SummaryEntry {
+                    mode: acq.mode,
+                    origin: Origin::Direct,
+                });
+        }
+    }
+    // Propagate through uniquely-resolved call edges to a fixpoint.
+    // Ambiguous calls (trait dispatch, ubiquitous names like `len`) do
+    // NOT propagate: mixing the summaries of same-named methods on
+    // unrelated types manufactures cycles that no execution can take.
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for fid in 0..n {
+            for call in &model.facts[fid].calls {
+                if call.resolution != Resolution::Resolved {
+                    continue;
+                }
+                for &callee in &call.candidates {
+                    if callee == fid {
+                        continue;
+                    }
+                    let inherited: Vec<(String, LockMode)> = summaries[callee]
+                        .iter()
+                        .map(|(class, e)| (class.clone(), e.mode))
+                        .collect();
+                    for (class, mode) in inherited {
+                        if let std::collections::btree_map::Entry::Vacant(slot) =
+                            summaries[fid].entry(class)
+                        {
+                            slot.insert(SummaryEntry {
+                                mode,
+                                origin: Origin::Via { callee },
+                            });
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect edges: direct acquisitions under a held guard, and calls
+    // under a held guard into functions that acquire.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen: BTreeSet<(String, String, String, usize)> = BTreeSet::new();
+    let mut push_edge = |edges: &mut Vec<Edge>, e: Edge| {
+        if e.from == e.to {
+            return;
+        }
+        let key = (e.from.clone(), e.to.clone(), e.path.clone(), e.line);
+        if seen.insert(key) {
+            edges.push(e);
+        }
+    };
+    for (fid, facts) in model.facts.iter().enumerate() {
+        let def = &model.symbols.fns[fid];
+        let path = files[def.file].path.display().to_string();
+        for acq in &facts.acqs {
+            for h in &acq.held {
+                push_edge(
+                    &mut edges,
+                    Edge {
+                        from: h.class.clone(),
+                        from_mode: h.mode,
+                        to: acq.class.clone(),
+                        to_mode: acq.mode,
+                        path: path.clone(),
+                        line: acq.line,
+                        fn_name: def.name.clone(),
+                        via: Vec::new(),
+                    },
+                );
+            }
+        }
+        for call in &facts.calls {
+            if call.held.is_empty() || call.resolution != Resolution::Resolved {
+                continue;
+            }
+            for &callee in &call.candidates {
+                if callee == fid {
+                    continue;
+                }
+                for (class, entry) in &summaries[callee] {
+                    let via = via_chain(model, &summaries, callee, class);
+                    for h in &call.held {
+                        push_edge(
+                            &mut edges,
+                            Edge {
+                                from: h.class.clone(),
+                                from_mode: h.mode,
+                                to: class.clone(),
+                                to_mode: entry.mode,
+                                path: path.clone(),
+                                line: call.line,
+                                fn_name: def.name.clone(),
+                                via: via.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over distinct classes.
+    let diagnostics = report_cycles(crate_name, &edges);
+    let graph = LockGraph {
+        crate_name: crate_name.to_owned(),
+        cycles: diagnostics.len(),
+        edges,
+    };
+    (diagnostics, graph)
+}
+
+/// Reconstructs the call chain that carries `class` into `start`'s
+/// summary, as a list of fn names ending at the direct acquirer.
+fn via_chain(
+    model: &Model,
+    summaries: &[BTreeMap<String, SummaryEntry>],
+    start: usize,
+    class: &str,
+) -> Vec<String> {
+    let mut chain = vec![model.symbols.fns[start].name.clone()];
+    let mut cur = start;
+    for _ in 0..16 {
+        match summaries[cur].get(class).map(|e| &e.origin) {
+            Some(Origin::Via { callee, .. }) => {
+                cur = *callee;
+                chain.push(model.symbols.fns[cur].name.clone());
+            }
+            _ => break,
+        }
+    }
+    chain
+}
+
+/// Finds cycles among the edge set and renders one diagnostic per
+/// strongly-connected component, with a concrete witness path.
+fn report_cycles(crate_name: &str, edges: &[Edge]) -> Vec<Diagnostic> {
+    // Representative edge per (from, to): prefer one that isn't
+    // read-while-read so the reader-reader exclusion doesn't hide a
+    // genuine writer pair on the same class pair.
+    let mut rep: BTreeMap<(String, String), &Edge> = BTreeMap::new();
+    for e in edges {
+        let key = (e.from.clone(), e.to.clone());
+        match rep.get(&key) {
+            Some(prev)
+                if !(prev.from_mode == LockMode::Read && prev.to_mode == LockMode::Read) => {}
+            _ => {
+                rep.insert(key, e);
+            }
+        }
+    }
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in rep.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+
+    let sccs = strongly_connected(&adj);
+    let mut out = Vec::new();
+    for scc in sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        let Some(cycle) = concrete_cycle(&adj, &scc) else {
+            continue;
+        };
+        let cycle_edges: Vec<&Edge> = cycle
+            .windows(2)
+            .filter_map(|w| rep.get(&(w[0].clone(), w[1].clone())).copied())
+            .collect();
+        if cycle_edges
+            .iter()
+            .all(|e| e.from_mode == LockMode::Read && e.to_mode == LockMode::Read)
+        {
+            continue; // reader-reader cycles don't deadlock
+        }
+        let ring = cycle
+            .iter()
+            .map(|c| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let witness = cycle_edges
+            .iter()
+            .map(|e| {
+                let via = if e.via.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (via {})", e.via.join(" -> "))
+                };
+                format!(
+                    "held `{}` ({}), acquires `{}` ({}) at {}:{} in `{}`{via}",
+                    e.from,
+                    e.from_mode.as_str(),
+                    e.to,
+                    e.to_mode.as_str(),
+                    e.path,
+                    e.line,
+                    e.fn_name
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let Some(first) = cycle_edges.first() else {
+            continue;
+        };
+        out.push(Diagnostic {
+            path: first.path.clone(),
+            line: first.line,
+            check: CheckId::LockOrder,
+            message: format!(
+                "potential deadlock in `{crate_name}`: lock-order cycle {ring}: {witness}"
+            ),
+        });
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Iterative Tarjan SCC over the class graph.
+fn strongly_connected<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a str>> {
+    let nodes: Vec<&str> = adj
+        .iter()
+        .flat_map(|(n, succs)| std::iter::once(*n).chain(succs.iter().copied()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let index_of: HashMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let succs: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            adj.get(n)
+                .map(|v| v.iter().map(|s| index_of[s]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+    let mut sccs: Vec<Vec<&str>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS: (node, next-successor-position).
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, pos)) = work.last() {
+            if index[v] == usize::MAX {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(pos) {
+                if let Some(frame) = work.last_mut() {
+                    frame.1 = pos + 1;
+                }
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            work.pop();
+            if let Some(&(parent, _)) = work.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut scc = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    scc.push(nodes[w]);
+                    if w == v {
+                        break;
+                    }
+                }
+                sccs.push(scc);
+            }
+        }
+    }
+    sccs
+}
+
+/// A concrete cycle within one SCC, as a node list whose first and last
+/// entries coincide.
+fn concrete_cycle(
+    adj: &BTreeMap<&str, Vec<&str>>,
+    scc: &[&str],
+) -> Option<Vec<String>> {
+    let inside: BTreeSet<&str> = scc.iter().copied().collect();
+    let start = *scc.iter().min()?;
+    // DFS from `start` back to `start` staying inside the SCC.
+    let mut path: Vec<&str> = vec![start];
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    fn dfs<'a>(
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        inside: &BTreeSet<&'a str>,
+        start: &'a str,
+        path: &mut Vec<&'a str>,
+        visited: &mut BTreeSet<&'a str>,
+    ) -> bool {
+        let Some(&cur) = path.last() else {
+            return false;
+        };
+        for &next in adj.get(cur).into_iter().flatten() {
+            if next == start && path.len() > 1 {
+                return true;
+            }
+            if inside.contains(next) && visited.insert(next) {
+                path.push(next);
+                if dfs(adj, inside, start, path, visited) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    if dfs(adj, &inside, start, &mut path, &mut visited) {
+        let mut cycle: Vec<String> = path.iter().map(|s| (*s).to_owned()).collect();
+        cycle.push(start.to_owned());
+        Some(cycle)
+    } else {
+        None
+    }
+}

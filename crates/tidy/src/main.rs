@@ -7,6 +7,7 @@ use std::process::ExitCode;
 
 use smartflux_tidy::checks::{CheckId, ALL_CHECKS};
 use smartflux_tidy::ratchet;
+use smartflux_tidy::report;
 use smartflux_tidy::runner;
 
 const USAGE: &str = "\
@@ -23,6 +24,8 @@ OPTIONS:
                          counts above budget fail, counts below budget
                          fail too until the file is tightened
     --write-ratchet      rewrite the --ratchet file with the live counts
+    --json <file>        also write a machine-readable report (checks run,
+                         per-crate counts, findings, lock-order graphs)
     --list-checks        print every check id and exit
     --help               print this help
 ";
@@ -33,6 +36,7 @@ struct Options {
     only: Vec<CheckId>,
     ratchet: Option<PathBuf>,
     write_ratchet: bool,
+    json: Option<PathBuf>,
     list_checks: bool,
 }
 
@@ -43,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         only: Vec::new(),
         ratchet: None,
         write_ratchet: false,
+        json: None,
         list_checks: false,
     };
     let mut it = args.iter();
@@ -64,6 +69,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.ratchet = Some(PathBuf::from(v));
             }
             "--write-ratchet" => opts.write_ratchet = true,
+            "--json" => {
+                let v = it.next().ok_or("--json needs a file path")?;
+                opts.json = Some(PathBuf::from(v));
+            }
             "--list-checks" => opts.list_checks = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -124,8 +133,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     };
 
     let units = runner::load_workspace(&root)?;
-    let diagnostics = runner::run_checks(&units, &selected);
-    let live = runner::count_by_crate(&units, &diagnostics);
+    let run_report = runner::run_checks_full(&units, &selected);
+    let diagnostics = &run_report.diagnostics;
+    let live = runner::count_by_crate(&units, diagnostics);
 
     let mut ok = true;
     if let Some(ratchet_path) = &opts.ratchet {
@@ -167,10 +177,24 @@ fn run(opts: &Options) -> Result<bool, String> {
             ok = report.is_clean();
         }
     } else {
-        for d in &diagnostics {
+        for d in diagnostics {
             println!("{d}");
         }
         ok = diagnostics.is_empty();
+    }
+
+    if let Some(json_path) = &opts.json {
+        let doc = report::render(
+            &selected,
+            units.iter().map(|u| u.files.len()).sum::<usize>(),
+            units.len(),
+            start.elapsed().as_millis(),
+            diagnostics,
+            &live,
+            &run_report.lock_graphs,
+        );
+        std::fs::write(json_path, doc).map_err(|e| format!("{}: {e}", json_path.display()))?;
+        eprintln!("tidy: wrote report to {}", json_path.display());
     }
 
     eprintln!(

@@ -1,10 +1,11 @@
 //! Workspace discovery and check orchestration.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::checks::{self, CheckId, Diagnostic};
+use crate::concurrency::{self, atomics, blocking, callgraph, lock_order};
 use crate::manifest::{self, Manifest};
 use crate::ratchet::Counts;
 use crate::source::{FileRole, SourceFile};
@@ -123,14 +124,30 @@ pub fn load_workspace(root: &Path) -> Result<Vec<CrateUnit>, String> {
     Ok(units)
 }
 
-/// Runs `selected` checks over `units`, returning live (non-allowed)
-/// diagnostics sorted by path and line.
+/// Everything a full run produces: the live diagnostics plus the
+/// per-crate lock-order graphs (for `--json` reporting).
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Live (post-suppression) diagnostics, sorted by path and line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// One lock-order graph per concurrency-analyzed crate.
+    pub lock_graphs: Vec<lock_order::LockGraph>,
+}
+
+/// Runs `selected` checks over `units`.
+///
+/// Checks emit *raw* diagnostics; suppression (`tidy:allow`) is applied
+/// centrally here, which is what lets the `allow-dangling` check see
+/// which suppressions actually fired: an allow whose `(path, line,
+/// check)` never matched a raw diagnostic is dead weight and gets
+/// reported itself.
 #[must_use]
-pub fn run_checks(units: &[CrateUnit], selected: &[CheckId]) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+pub fn run_checks_full(units: &[CrateUnit], selected: &[CheckId]) -> RunReport {
+    let mut raw = Vec::new();
+    let mut lock_graphs = Vec::new();
     for unit in units {
         if selected.contains(&CheckId::Layering) {
-            out.extend(checks::check_layering(&unit.manifest, unit.vendored));
+            raw.extend(checks::check_layering(&unit.manifest, unit.vendored));
         }
         if unit.vendored {
             // Vendor stand-ins mirror external crates; only layering (and
@@ -141,7 +158,11 @@ pub fn run_checks(units: &[CrateUnit], selected: &[CheckId]) -> Vec<Diagnostic> 
             let is_lib_root = file.path.ends_with("src/lib.rs");
             for &check in selected {
                 let diags = match check {
-                    CheckId::Layering => continue,
+                    CheckId::Layering
+                    | CheckId::LockOrder
+                    | CheckId::AtomicOrdering
+                    | CheckId::GuardBlocking
+                    | CheckId::AllowDangling => continue,
                     CheckId::Panic => checks::check_panic(file),
                     CheckId::LockStd => checks::check_lock_std(file, &unit.name),
                     CheckId::LockSpan => checks::check_lock_span(file, &unit.name),
@@ -149,12 +170,109 @@ pub fn run_checks(units: &[CrateUnit], selected: &[CheckId]) -> Vec<Diagnostic> 
                     CheckId::Time => checks::check_time(file, &unit.name),
                     CheckId::Hygiene => checks::check_hygiene(file, &unit.name, is_lib_root),
                 };
-                out.extend(diags);
+                raw.extend(diags);
+            }
+        }
+        // Crate-level concurrency passes, on the analyzed subset only.
+        if concurrency::CONCURRENCY_CRATES.contains(&unit.name.as_str()) {
+            if selected.contains(&CheckId::AtomicOrdering) {
+                raw.extend(atomics::check(&unit.name, &unit.files));
+            }
+            let wants_model = selected.contains(&CheckId::LockOrder)
+                || selected.contains(&CheckId::GuardBlocking);
+            if wants_model {
+                let model = callgraph::Model::build(&unit.files);
+                if selected.contains(&CheckId::LockOrder) {
+                    let (diags, graph) = lock_order::check(&unit.name, &unit.files, &model);
+                    raw.extend(diags);
+                    lock_graphs.push(graph);
+                }
+                if selected.contains(&CheckId::GuardBlocking) {
+                    raw.extend(blocking::check(&unit.name, &unit.files, &model));
+                }
             }
         }
     }
-    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    out
+
+    // Central suppression: filter allowed diagnostics, remembering which
+    // allows actually fired.
+    let mut file_map: HashMap<String, &SourceFile> = HashMap::new();
+    for unit in units.iter().filter(|u| !u.vendored) {
+        for file in &unit.files {
+            file_map.insert(file.path.display().to_string(), file);
+        }
+    }
+    let mut used: HashSet<(String, usize, String)> = HashSet::new();
+    let mut live = Vec::new();
+    for d in raw {
+        let allowed = file_map
+            .get(&d.path)
+            .is_some_and(|f| f.is_allowed(d.line, d.check.as_str()));
+        if allowed {
+            used.insert((d.path, d.line, d.check.as_str().to_owned()));
+        } else {
+            live.push(d);
+        }
+    }
+
+    // Dangling-suppression scan: every allow for a *selected* check must
+    // have filtered at least one raw diagnostic this run.
+    if selected.contains(&CheckId::AllowDangling) {
+        for unit in units.iter().filter(|u| !u.vendored) {
+            for file in &unit.files {
+                let path = file.path.display().to_string();
+                for (line, id) in file.allow_entries() {
+                    let diag = match CheckId::parse(id) {
+                        None => Some(format!(
+                            "`tidy:allow({id})` names an unknown check id — see --list-checks"
+                        )),
+                        Some(CheckId::AllowDangling) => None,
+                        Some(check) if !selected.contains(&check) => None,
+                        Some(_) => {
+                            if used.contains(&(path.clone(), line, id.to_owned())) {
+                                None
+                            } else {
+                                Some(format!(
+                                    "`tidy:allow({id})` suppresses nothing — the check no \
+                                     longer fires here; remove the stale suppression"
+                                ))
+                            }
+                        }
+                    };
+                    if let Some(message) = diag {
+                        if file.is_allowed(line, CheckId::AllowDangling.as_str()) {
+                            continue;
+                        }
+                        live.push(Diagnostic {
+                            path: path.clone(),
+                            line,
+                            check: CheckId::AllowDangling,
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    live.sort_by(|a, b| (&a.path, a.line, a.check.as_str(), &a.message).cmp(&(
+        &b.path,
+        b.line,
+        b.check.as_str(),
+        &b.message,
+    )));
+    live.dedup();
+    RunReport {
+        diagnostics: live,
+        lock_graphs,
+    }
+}
+
+/// Runs `selected` checks over `units`, returning live (non-allowed)
+/// diagnostics sorted by path and line.
+#[must_use]
+pub fn run_checks(units: &[CrateUnit], selected: &[CheckId]) -> Vec<Diagnostic> {
+    run_checks_full(units, selected).diagnostics
 }
 
 /// Buckets diagnostics into ratchet counts. Needs the crate of each

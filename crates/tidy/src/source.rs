@@ -172,6 +172,17 @@ impl SourceFile {
     pub fn is_allowed(&self, line: usize, check: &str) -> bool {
         self.allows.get(line - 1).is_some_and(|s| s.contains(check))
     }
+
+    /// Every `(line, check-id)` suppression in the file, in line order.
+    /// The line is the code line the allow applies to (for standalone
+    /// comment allows, the next code line), matching [`Self::is_allowed`].
+    pub fn allow_entries(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.allows.iter().enumerate().flat_map(|(idx, set)| {
+            let mut ids: Vec<&str> = set.iter().map(String::as_str).collect();
+            ids.sort_unstable();
+            ids.into_iter().map(move |id| (idx + 1, id))
+        })
+    }
 }
 
 #[cfg(test)]

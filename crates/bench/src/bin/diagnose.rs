@@ -86,9 +86,8 @@ fn run_json(args: &Args) {
     }
     // Workspace-global, so computed once and spliced into every workload
     // object — each output line stays self-contained for downstream tools.
-    let static_analysis = diag::static_analysis_json().map_or_else(String::new, |json| {
-        format!(",\"static_analysis\":{json}")
-    });
+    let static_analysis = diag::static_analysis_json()
+        .map_or_else(String::new, |json| format!(",\"static_analysis\":{json}"));
     for wl in [Workload::Lrb, Workload::Aqhi] {
         let oracle = wl.evaluate_policy(args.bound, EvalPolicy::Oracle, wl.application_waves());
 

@@ -1,0 +1,5 @@
+//! Forest-inference micro-bench: scalar vs flat arena vs batched paths.
+
+fn main() {
+    smartflux_bench::exp::forest_inference::run();
+}

@@ -410,6 +410,7 @@ impl QodEngine {
         if let Some(manager) = &mut self.durability {
             manager.set_telemetry(telemetry.clone());
         }
+        self.predictor.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
@@ -1103,10 +1104,12 @@ impl TriggerPolicy for QodEngine {
                     return true;
                 }
                 self.current_impacts[idx] = self.compute_impact(idx);
-                let features = self.current_impacts.clone();
+                // The impact vector is borrowed, not cloned: the per-step
+                // query path runs once per QoD step per wave, and the
+                // predictor projects its feature slice without copying.
                 let decision = {
                     let _span = self.telemetry.span(names::PREDICT_LATENCY, idx as u64);
-                    match self.predictor.predict_step(idx, &features) {
+                    match self.predictor.predict_step(idx, &self.current_impacts) {
                         Ok(d) => d,
                         Err(_) => {
                             // Predictor unavailable: fail safe, execute.

@@ -10,6 +10,7 @@ use smartflux_ml::{
     Classifier, DecisionTree, GaussianNaiveBayes, LinearSvm, LogisticRegression, MultiLabelDataset,
     NeuralNetwork, RandomForest,
 };
+use smartflux_telemetry::{names, Telemetry};
 
 use crate::error::CoreError;
 use crate::knowledge::KnowledgeBase;
@@ -152,6 +153,9 @@ pub struct Predictor {
     models: Vec<Box<dyn Classifier>>,
     quality: Option<PredictorQuality>,
     last_build_time: Option<Duration>,
+    /// Inert (disabled) unless the owning engine attaches a handle; feeds
+    /// the `ml.predict_ns` / `ml.fit_ns` / `ml.batch_size` instruments.
+    telemetry: Telemetry,
 }
 
 impl Predictor {
@@ -166,7 +170,15 @@ impl Predictor {
             models: Vec::new(),
             quality: None,
             last_build_time: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; the predictor then feeds the
+    /// ML-kernel instruments (`ml.predict_ns`, `ml.fit_ns`,
+    /// `ml.batch_size`).
+    pub(crate) fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Sets the number of cross-validation folds used by the test phase
@@ -197,10 +209,42 @@ impl Predictor {
 
     /// Projects the shared impact vector into the features label `j`'s
     /// classifier consumes.
-    fn project(&self, j: usize, impacts: &[f64]) -> Vec<f64> {
+    ///
+    /// Returns a borrow into `impacts` — the per-wave query path makes one
+    /// projection per label, so allocating here would put a `Vec` on the
+    /// hot path of every decision.
+    fn project<'a>(&self, j: usize, impacts: &'a [f64]) -> &'a [f64] {
         match self.feature_mode {
-            FeatureMode::OwnImpact => vec![impacts[j]],
-            FeatureMode::FullVector => impacts.to_vec(),
+            FeatureMode::OwnImpact => &impacts[j..=j],
+            FeatureMode::FullVector => impacts,
+        }
+    }
+
+    /// Rejects queries an untrained or wrong-width model cannot answer.
+    ///
+    /// Both feature modes consume an `n_labels`-wide impact vector (each
+    /// label projects its own slice out of it), so the width check is
+    /// mode-independent.
+    fn check_query(&self, impacts: &[f64]) -> Result<(), CoreError> {
+        if self.models.is_empty() {
+            return Err(CoreError::NotTrained);
+        }
+        if impacts.len() != self.models.len() {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.models.len(),
+                found: impacts.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Records how many labels the latest prediction pass answered (1
+    /// for per-step queries, `n_labels` for whole-vector passes). A
+    /// gauge rather than a histogram: histograms are exported in time
+    /// units by the observability plane.
+    fn record_batch_size(&self, n: usize) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge(names::ML_BATCH_SIZE).set(n as i64);
         }
     }
 
@@ -265,6 +309,13 @@ impl Predictor {
         let start = Instant::now();
         let quality = self.assess(&data)?;
 
+        // The fit span covers only the kernel work (per-label model
+        // fitting), not the cross-validated test phase above — `ml.fit_ns`
+        // answers "how long does (re)building the models take", the
+        // engine-level `engine.train` span covers the whole phase.
+        let fit_span = self
+            .telemetry
+            .span(names::ML_FIT_LATENCY, data.n_labels() as u64);
         let mut models = Vec::with_capacity(data.n_labels());
         for j in 0..data.n_labels() {
             let view = self.label_view(&data, j)?;
@@ -272,6 +323,7 @@ impl Predictor {
             model.fit(&view)?;
             models.push(model);
         }
+        drop(fit_span);
         self.models = models;
         self.quality = Some(quality);
         self.last_build_time = Some(start.elapsed());
@@ -298,37 +350,66 @@ impl Predictor {
     /// Predicts which steps must execute for the given impact vector
     /// (`true` = the step's error bound would otherwise be exceeded).
     ///
+    /// Equivalent to [`predict_all`](Self::predict_all), kept under the
+    /// paper's name for the `h(X) = Y` query of §3.1.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::NotTrained`] before training and
     /// [`CoreError::ShapeMismatch`] on a wrong-width feature vector.
     pub fn predict(&self, impacts: &[f64]) -> Result<Vec<bool>, CoreError> {
-        if self.models.is_empty() {
-            return Err(CoreError::NotTrained);
+        self.predict_all(impacts)
+    }
+
+    /// Walks every label model over one impact vector in a single pass:
+    /// the per-wave query shape. Each label projects its feature slice
+    /// out of the shared vector without copying, so the whole pass is
+    /// allocation-free apart from the result.
+    ///
+    /// Queries go through the checked `try_predict` path — a present but
+    /// unfitted model is rejected like an absent one, never answered
+    /// from the 0.5 prior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before training (or when any
+    /// per-label model is unfitted) and [`CoreError::ShapeMismatch`] on
+    /// a wrong-width impact vector.
+    pub fn predict_all(&self, impacts: &[f64]) -> Result<Vec<bool>, CoreError> {
+        self.check_query(impacts)?;
+        let _span = self
+            .telemetry
+            .span(names::ML_PREDICT_LATENCY, self.models.len() as u64);
+        let mut decisions = Vec::with_capacity(self.models.len());
+        for (j, m) in self.models.iter().enumerate() {
+            decisions.push(
+                m.try_predict(self.project(j, impacts))
+                    .map_err(|_| CoreError::NotTrained)?,
+            );
         }
-        Ok(self
-            .models
-            .iter()
-            .enumerate()
-            .map(|(j, m)| m.predict(&self.project(j, impacts)))
-            .collect())
+        self.record_batch_size(decisions.len());
+        Ok(decisions)
     }
 
     /// Predicts the execution decision for a single step (label index `j`).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NotTrained`] before training and
-    /// [`CoreError::ShapeMismatch`] for an unknown label index.
+    /// Returns [`CoreError::NotTrained`] before training (or when the
+    /// model is unfitted) and [`CoreError::ShapeMismatch`] for an
+    /// unknown label index or wrong-width impact vector.
     pub fn predict_step(&self, j: usize, impacts: &[f64]) -> Result<bool, CoreError> {
-        if self.models.is_empty() {
-            return Err(CoreError::NotTrained);
-        }
+        self.check_query(impacts)?;
         let model = self.models.get(j).ok_or(CoreError::ShapeMismatch {
             expected: self.models.len(),
             found: j,
         })?;
-        Ok(model.predict(&self.project(j, impacts)))
+        let _span = self.telemetry.span(names::ML_PREDICT_LATENCY, j as u64);
+        let decision = model
+            .try_predict(self.project(j, impacts))
+            .map_err(|_| CoreError::NotTrained)?;
+        self.record_batch_size(1);
+        Ok(decision)
     }
 
     /// Serialises every trained per-label model into its binary form, for
@@ -355,21 +436,28 @@ impl Predictor {
         self.last_build_time = None;
     }
 
-    /// Per-label execution probabilities.
+    /// Per-label execution probabilities, in the same single pass as
+    /// [`predict_all`](Self::predict_all).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NotTrained`] before training.
+    /// Returns [`CoreError::NotTrained`] before training (or when any
+    /// per-label model is unfitted) and [`CoreError::ShapeMismatch`] on
+    /// a wrong-width impact vector.
     pub fn predict_proba(&self, impacts: &[f64]) -> Result<Vec<f64>, CoreError> {
-        if self.models.is_empty() {
-            return Err(CoreError::NotTrained);
+        self.check_query(impacts)?;
+        let _span = self
+            .telemetry
+            .span(names::ML_PREDICT_LATENCY, self.models.len() as u64);
+        let mut probabilities = Vec::with_capacity(self.models.len());
+        for (j, m) in self.models.iter().enumerate() {
+            probabilities.push(
+                m.try_predict_proba(self.project(j, impacts))
+                    .map_err(|_| CoreError::NotTrained)?,
+            );
         }
-        Ok(self
-            .models
-            .iter()
-            .enumerate()
-            .map(|(j, m)| m.predict_proba(&self.project(j, impacts)))
-            .collect())
+        self.record_batch_size(probabilities.len());
+        Ok(probabilities)
     }
 }
 

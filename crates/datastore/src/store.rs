@@ -6,8 +6,11 @@
 //! exactly one shard (see [`crate::shard`]), and each shard is guarded by
 //! its own reader-writer lock, so steps touching different containers
 //! proceed without contention. Write timestamps come from one atomic
-//! logical clock, always advanced *inside* the owning shard's write guard,
-//! which makes per-cell timestamp order identical to apply order. A table
+//! logical clock, advanced only for mutations that actually apply (never
+//! for rejected writes or absent-cell deletes) and always *inside* the
+//! owning shard's write guard, which makes per-cell timestamp order
+//! identical to apply order and every tick correspond to exactly one
+//! observable [`WriteEvent`]. A table
 //! registry (names only) backs existence checks for tables whose families
 //! are spread across shards; lock order is registry → shard, and a shard
 //! guard is always dropped before the registry is consulted on an error
@@ -270,10 +273,13 @@ impl DataStore {
     ///
     /// # Errors
     ///
-    /// Returns an error if the table or family does not exist. The logical
-    /// clock still advances on a failed write (matching the original
-    /// global-lock implementation, which ticked before resolving the
-    /// container).
+    /// Returns an error if the table or family does not exist. A failed
+    /// write does **not** advance the logical clock: the container is
+    /// resolved first and the timestamp is only drawn once the mutation
+    /// is guaranteed to apply, so every tick corresponds to exactly one
+    /// observable [`WriteEvent`]. (The original global-lock
+    /// implementation ticked before resolving the container, leaving
+    /// gaps in the timestamp sequence on rejected writes.)
     pub fn put(
         &self,
         table: &str,
@@ -286,11 +292,14 @@ impl DataStore {
         self.timed(OpKind::Put, shard, || {
             let max_versions = self.max_versions();
             let mut data = self.shard_mut(shard);
-            let ts = self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let Some(fam) = data.get_mut(table).and_then(|t| t.get_mut(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
             };
+            // Tick only now that the write is certain to apply. The tick
+            // happens inside the shard write guard, so the timestamp
+            // order matches the apply order within the shard.
+            let ts = self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let old =
                 fam.row_mut(row)
                     .put_with_versions(qualifier, value.clone(), ts, max_versions);
@@ -317,7 +326,9 @@ impl DataStore {
     /// # Errors
     ///
     /// Returns an error if the table or family does not exist. As with
-    /// [`put`](Self::put), the clock advances even when nothing is removed.
+    /// [`put`](Self::put), the clock only advances when a mutation is
+    /// actually applied: deleting an absent cell is a no-op and consumes
+    /// no timestamp.
     pub fn delete(
         &self,
         table: &str,
@@ -328,14 +339,18 @@ impl DataStore {
         let shard = shard_index(self.shared.mask, table, family);
         self.timed(OpKind::Delete, shard, || {
             let mut data = self.shard_mut(shard);
-            let ts = self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let Some(fam) = data.get_mut(table).and_then(|t| t.get_mut(family)) else {
                 drop(data);
                 return Err(self.missing(table, family));
             };
             let old = fam.delete_cell(row, qualifier);
+            // Tick only when a value was actually removed, inside the
+            // shard guard so timestamp order matches apply order.
+            let ts = old
+                .is_some()
+                .then(|| self.shared.clock.fetch_add(1, Ordering::Relaxed) + 1);
             drop(data);
-            if let Some(old_value) = &old {
+            if let (Some(old_value), Some(ts)) = (&old, ts) {
                 self.notify(WriteEvent {
                     table: table.to_owned(),
                     family: family.to_owned(),
@@ -858,17 +873,32 @@ mod tests {
     }
 
     #[test]
-    fn failed_writes_still_advance_the_clock() {
-        // The seed implementation ticked the clock before resolving the
-        // container; the stress-test oracle relies on this staying true.
+    fn failed_writes_do_not_advance_the_clock() {
+        // Regression test for a seed-era bug: the original global-lock
+        // implementation (and its `ShardPolicy::Single` compatibility
+        // mode) ticked the clock *before* resolving the container, so a
+        // rejected put, a delete against a missing table, or a delete of
+        // an absent cell each consumed a timestamp. The sequence below
+        // used to leave the clock at 3. Timestamps now map one-to-one
+        // onto applied mutations (observable `WriteEvent`s), so the
+        // clock must stay untouched.
         let s = store_with_tf();
         assert!(s.put("t", "nope", "r", "q", Value::from(1.0)).is_err());
-        assert_eq!(s.clock(), 1);
+        assert_eq!(s.clock(), 0);
         assert!(s.delete("nope", "f", "r", "q").is_err());
-        assert_eq!(s.clock(), 2);
-        // Deleting an absent cell from a real family also ticks.
+        assert_eq!(s.clock(), 0);
+        // Deleting an absent cell from a real family is a no-op, not a
+        // mutation: no tick, no event.
         assert_eq!(s.delete("t", "f", "r", "q").unwrap(), None);
-        assert_eq!(s.clock(), 3);
+        assert_eq!(s.clock(), 0);
+        // An applied write still ticks exactly once.
+        s.put("t", "f", "r", "q", Value::from(1.0)).unwrap();
+        assert_eq!(s.clock(), 1);
+        assert_eq!(
+            s.delete("t", "f", "r", "q").unwrap(),
+            Some(Value::from(1.0))
+        );
+        assert_eq!(s.clock(), 2);
     }
 
     #[test]

@@ -32,12 +32,24 @@ pub fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<Vec<usize>>
     for (j, &i) in pos.iter().enumerate() {
         folds[j % k].push(i);
     }
+    // Continue the round-robin where the positives left off instead of
+    // restarting at fold 0. With both classes starting at fold 0, the
+    // `len % k` leftovers of BOTH classes piled onto the early folds,
+    // overloading them by up to two instances and skewing the class
+    // ratio whenever the minority class was small.
+    let offset = pos.len() % k;
     for (j, &i) in neg.iter().enumerate() {
-        folds[j % k].push(i);
+        folds[(offset + j) % k].push(i);
     }
     for fold in &mut folds {
         fold.sort_unstable();
     }
+    let largest = folds.iter().map(Vec::len).max().unwrap_or(0);
+    let smallest = folds.iter().map(Vec::len).min().unwrap_or(0);
+    debug_assert!(
+        largest - smallest <= 1,
+        "stratified folds out of balance: sizes span {smallest}..{largest}"
+    );
     folds
 }
 
@@ -153,6 +165,41 @@ mod tests {
         for fold in &folds {
             let pos = fold.iter().filter(|&&i| labels[i]).count();
             assert_eq!(pos, 2, "each fold should hold 2 of the 20 positives");
+        }
+    }
+
+    #[test]
+    fn fold_sizes_never_spread_more_than_one() {
+        // Exercise awkward (n, k, positive-count) combinations where the
+        // old both-classes-start-at-fold-0 assignment piled two leftover
+        // instances onto the early folds (e.g. 13 pos + 24 neg over 5
+        // folds put fold 0 at 8 while fold 4 sat at 7 — or worse when
+        // both remainders overlapped).
+        for (n, k, modulus) in [(37, 5, 3), (23, 4, 2), (101, 10, 7), (17, 8, 5), (49, 6, 4)] {
+            let labels: Vec<bool> = (0..n).map(|i| i % modulus == 0).collect();
+            let folds = stratified_folds(&labels, k, 11);
+            let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+            let spread = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
+            assert!(spread <= 1, "n={n} k={k}: fold sizes {sizes:?}");
+            // Per-class spread stays ≤1 too (stratification proper).
+            let pos_sizes: Vec<usize> = folds
+                .iter()
+                .map(|f| f.iter().filter(|&&i| labels[i]).count())
+                .collect();
+            let pos_spread = pos_sizes.iter().max().unwrap() - pos_sizes.iter().min().unwrap();
+            assert!(pos_spread <= 1, "n={n} k={k}: positives {pos_sizes:?}");
+        }
+    }
+
+    #[test]
+    fn small_minority_is_not_piled_onto_early_folds() {
+        // 7 positives + 13 negatives over 4 folds: the old assignment
+        // gave fold 0 both a 2nd positive AND a 4th negative (6 total vs
+        // 4 in fold 3). The offset keeps every fold at 5 instances.
+        let labels: Vec<bool> = (0..20).map(|i| i < 7).collect();
+        let folds = stratified_folds(&labels, 4, 3);
+        for fold in &folds {
+            assert_eq!(fold.len(), 5, "folds {folds:?}");
         }
     }
 

@@ -1,14 +1,44 @@
 //! Random Forests — the paper's default learning approach.
 
+use std::num::NonZeroUsize;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::arena::TreeArena;
 use crate::codec;
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::tree::DecisionTree;
 use crate::Classifier;
+
+/// Worker budget for [`RandomForest::fit`].
+///
+/// Training is deterministic at every setting: bootstrap samples are
+/// drawn sequentially from the forest RNG before any tree is fitted and
+/// per-tree feature-subsampling seeds derive from the tree index, so
+/// `Fixed(1)` and `Auto` produce bit-identical forests — `Fixed(1)` is
+/// kept for parity tests and single-core baselines, not correctness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TrainParallelism {
+    /// One worker per available hardware thread (the default).
+    #[default]
+    Auto,
+    /// Exactly `n` workers; `Fixed(1)` fits trees on the calling thread.
+    Fixed(usize),
+}
+
+impl TrainParallelism {
+    /// Resolved worker count (always ≥ 1).
+    #[must_use]
+    pub fn workers(self) -> usize {
+        match self {
+            Self::Auto => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            Self::Fixed(n) => n.max(1),
+        }
+    }
+}
 
 /// A Random Forest classifier: bagged decision trees with per-split feature
 /// subsampling, as in Breiman 2001.
@@ -42,7 +72,11 @@ pub struct RandomForest {
     max_features: Option<usize>,
     threshold: f64,
     seed: u64,
+    parallelism: TrainParallelism,
     trees: Vec<DecisionTree>,
+    /// Flattened prediction arena, rebuilt from `trees` at every fit and
+    /// decode; empty exactly when `trees` is empty.
+    arena: TreeArena,
 }
 
 impl Default for RandomForest {
@@ -68,7 +102,9 @@ impl RandomForest {
             max_features: None, // √d chosen at fit time
             threshold: 0.5,
             seed: 0,
+            parallelism: TrainParallelism::Auto,
             trees: Vec::new(),
+            arena: TreeArena::new(),
         }
     }
 
@@ -127,6 +163,16 @@ impl RandomForest {
         self
     }
 
+    /// Sets the training worker budget (default [`TrainParallelism::Auto`]).
+    ///
+    /// The fitted forest is bit-identical at every setting; see
+    /// [`TrainParallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: TrainParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Number of trees in the (fitted or configured) ensemble.
     #[must_use]
     pub fn n_trees(&self) -> usize {
@@ -137,6 +183,66 @@ impl RandomForest {
     #[must_use]
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// The configured training worker budget.
+    #[must_use]
+    pub fn parallelism(&self) -> TrainParallelism {
+        self.parallelism
+    }
+
+    /// The flattened prediction arena (empty before fitting).
+    #[must_use]
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
+    }
+
+    /// Rebuilds the flat arena from the pointer trees. Every path that
+    /// installs trees (fit, text/binary decode) calls this, so the two
+    /// representations can never diverge.
+    fn rebuild_arena(&mut self) {
+        self.arena.clear();
+        for tree in &self.trees {
+            tree.flatten_into(&mut self.arena);
+        }
+    }
+
+    /// The reference prediction path: per-tree `Box`-node pointer walks,
+    /// averaged in ensemble order. Kept as the independent oracle for
+    /// the parity suite and the scalar baseline of the
+    /// `forest_inference` micro-bench; [`predict_proba`] serves the same
+    /// values from the flat arena.
+    ///
+    /// Returns the 0.5 prior before fitting, like [`predict_proba`].
+    ///
+    /// [`predict_proba`]: Classifier::predict_proba
+    #[must_use]
+    pub fn predict_proba_reference(&self, features: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Ensemble probabilities for a batch of samples in one
+    /// cache-friendly pass (trees outer, samples inner), bit-identical
+    /// to calling [`predict_proba`] per sample.
+    ///
+    /// Unlike the trait path this is export-consistent about training
+    /// state: an unfitted forest is rejected instead of answering with
+    /// the prior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before a successful fit or decode.
+    ///
+    /// [`predict_proba`]: Classifier::predict_proba
+    pub fn predict_batch<S: AsRef<[f64]>>(&self, samples: &[S]) -> Result<Vec<f64>, MlError> {
+        if self.arena.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        Ok(self.arena.predict_batch(samples))
     }
 }
 
@@ -254,15 +360,19 @@ impl RandomForest {
             .iter()
             .map(|c| DecisionTree::from_text(c))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
+        let mut forest = Self {
             n_trees,
             max_depth: 16,
             min_samples_split: 2,
             max_features: None,
             threshold,
             seed: 0,
+            parallelism: TrainParallelism::Auto,
             trees,
-        })
+            arena: TreeArena::new(),
+        };
+        forest.rebuild_arena();
+        Ok(forest)
     }
 
     /// Serialises the fitted forest into a versioned binary form.
@@ -327,15 +437,22 @@ impl RandomForest {
         if !r.is_exhausted() {
             return Err(MlError::Decode("trailing bytes after forest".into()));
         }
-        Ok(Self {
+        // Decoded forests predict through the same flat arena as freshly
+        // fitted ones: the checkpoint/recovery path must not fall back to
+        // a different (if bit-identical) traversal strategy.
+        let mut forest = Self {
             n_trees,
             max_depth: 16,
             min_samples_split: 2,
             max_features: None,
             threshold,
             seed: 0,
+            parallelism: TrainParallelism::Auto,
             trees,
-        })
+            arena: TreeArena::new(),
+        };
+        forest.rebuild_arena();
+        Ok(forest)
     }
 }
 
@@ -346,31 +463,88 @@ impl Classifier for RandomForest {
             .max_features
             .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
             .max(1);
-        self.trees = (0..self.n_trees)
-            .map(|t| {
-                // Bootstrap sample (with replacement).
-                let sample: Vec<usize> = (0..data.len())
+        // Bootstrap samples (with replacement) are drawn sequentially
+        // from the single forest RNG *before* any tree is fitted,
+        // preserving the historical draw order: tree `t` always receives
+        // draws [t·n, (t+1)·n), no matter how many workers then fit the
+        // trees. Per-tree feature subsampling is seeded from the tree
+        // index, so the fitted ensemble is bit-identical at every
+        // parallelism setting.
+        let samples: Vec<Vec<usize>> = (0..self.n_trees)
+            .map(|_| {
+                (0..data.len())
                     .map(|_| rng.random_range(0..data.len()))
-                    .collect();
-                let boot = data.subset(&sample);
-                let mut tree = DecisionTree::new()
-                    .with_max_depth(self.max_depth)
-                    .with_min_samples_split(self.min_samples_split)
-                    .with_max_features(k)
-                    .with_seed(self.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9));
-                tree.fit(&boot)?;
-                Ok(tree)
+                    .collect()
             })
-            .collect::<Result<Vec<_>, MlError>>()?;
+            .collect();
+
+        let fit_one = |t: usize, sample: &[usize]| -> Result<DecisionTree, MlError> {
+            let boot = data.subset(sample);
+            let mut tree = DecisionTree::new()
+                .with_max_depth(self.max_depth)
+                .with_min_samples_split(self.min_samples_split)
+                .with_max_features(k)
+                .with_seed(self.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9));
+            tree.fit(&boot)?;
+            Ok(tree)
+        };
+
+        let workers = self.parallelism.workers().min(self.n_trees);
+        let mut slots: Vec<Option<Result<DecisionTree, MlError>>> = Vec::new();
+        slots.resize_with(self.n_trees, || None);
+        if workers <= 1 {
+            for (t, sample) in samples.iter().enumerate() {
+                slots[t] = Some(fit_one(t, sample));
+            }
+        } else {
+            // Contiguous chunks keep every worker's output slots disjoint;
+            // scoped threads propagate worker panics at join, so no
+            // channel plumbing or unwraps are needed.
+            let per = self.n_trees.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (w, (sample_chunk, slot_chunk)) in
+                    samples.chunks(per).zip(slots.chunks_mut(per)).enumerate()
+                {
+                    let fit_one = &fit_one;
+                    scope.spawn(move || {
+                        for (i, (sample, slot)) in
+                            sample_chunk.iter().zip(slot_chunk.iter_mut()).enumerate()
+                        {
+                            *slot = Some(fit_one(w * per + i, sample));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for slot in slots {
+            match slot {
+                Some(Ok(tree)) => trees.push(tree),
+                Some(Err(e)) => return Err(e),
+                // Unreachable — the chunked loops fill every slot — but
+                // handled without panicking per the lib-code discipline.
+                None => return Err(MlError::NotFitted),
+            }
+        }
+        self.trees = trees;
+        self.rebuild_arena();
         Ok(())
     }
 
+    fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Flat-arena traversal; see [`predict_proba_reference`] for the
+    /// pointer-walk oracle it is parity-tested against.
+    ///
+    /// [`predict_proba_reference`]: RandomForest::predict_proba_reference
     fn predict_proba(&self, features: &[f64]) -> f64 {
-        if self.trees.is_empty() {
-            return 0.5;
+        if self.arena.is_empty() {
+            return 0.5; // the trait-level unfitted prior
         }
-        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
-        sum / self.trees.len() as f64
+        self.arena.predict_proba(features)
     }
 
     fn predict(&self, features: &[f64]) -> bool {
@@ -442,6 +616,63 @@ mod tests {
     fn unfitted_returns_prior() {
         let rf = RandomForest::new(3);
         assert_eq!(rf.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn unfitted_is_rejected_on_checked_paths() {
+        let rf = RandomForest::new(3).with_threshold(0.2);
+        assert!(!rf.is_fitted());
+        // The trait-level prior (0.5) would cross the recall-tuned
+        // threshold and read as a confident "execute"…
+        assert!(rf.predict(&[1.0]));
+        // …which is exactly why the checked paths refuse to answer.
+        assert_eq!(rf.try_predict_proba(&[1.0]), Err(MlError::NotFitted));
+        assert_eq!(rf.try_predict(&[1.0]), Err(MlError::NotFitted));
+        assert_eq!(rf.predict_batch(&[vec![1.0]]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn flat_path_matches_reference_walk() {
+        let mut rf = RandomForest::new(25).with_seed(7);
+        rf.fit(&banded()).unwrap();
+        assert!(rf.is_fitted());
+        assert_eq!(rf.arena().n_trees(), 25);
+        for x in -10..40 {
+            let probe = [f64::from(x)];
+            assert_eq!(
+                rf.predict_proba(&probe),
+                rf.predict_proba_reference(&probe),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_sample_predictions() {
+        let mut rf = RandomForest::new(12).with_seed(8);
+        rf.fit(&banded()).unwrap();
+        let samples: Vec<Vec<f64>> = (-10..40).map(|x| vec![f64::from(x)]).collect();
+        let batched = rf.predict_batch(&samples).unwrap();
+        for (sample, p) in samples.iter().zip(&batched) {
+            assert_eq!(rf.predict_proba(sample), *p);
+        }
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical() {
+        let mut sequential = RandomForest::new(16)
+            .with_seed(21)
+            .with_parallelism(TrainParallelism::Fixed(1));
+        let mut parallel = RandomForest::new(16)
+            .with_seed(21)
+            .with_parallelism(TrainParallelism::Fixed(4));
+        sequential.fit(&banded()).unwrap();
+        parallel.fit(&banded()).unwrap();
+        // Tree-for-tree identity, not just equal predictions: the codec
+        // serialises every node, so equal bytes mean equal forests.
+        assert_eq!(sequential.to_bytes(), parallel.to_bytes());
+        assert_eq!(TrainParallelism::Fixed(0).workers(), 1);
+        assert!(TrainParallelism::Auto.workers() >= 1);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod crossval;
 pub mod metrics;
 
+mod arena;
 mod codec;
 mod dataset;
 mod error;
@@ -52,9 +53,10 @@ mod scaler;
 mod svm;
 mod tree;
 
+pub use arena::TreeArena;
 pub use dataset::{Dataset, MultiLabelDataset};
 pub use error::MlError;
-pub use forest::RandomForest;
+pub use forest::{RandomForest, TrainParallelism};
 pub use kernel_svm::{Kernel, KernelSvm};
 pub use logistic::LogisticRegression;
 pub use mlp::NeuralNetwork;
@@ -80,16 +82,57 @@ pub trait Classifier: Send + Sync {
     /// model is learned.
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
 
+    /// `true` once a successful [`fit`](Classifier::fit) (or a codec
+    /// decode of a fitted model) has produced queryable state.
+    fn is_fitted(&self) -> bool;
+
     /// Probability that `features` belongs to the positive class.
     ///
     /// Returns a value in `[0, 1]`. Calling this before a successful
     /// [`fit`](Classifier::fit) returns an implementation-defined prior
-    /// (typically 0.5).
+    /// (typically 0.5) — infrastructure that must not silently answer
+    /// from an untrained model uses
+    /// [`try_predict_proba`](Classifier::try_predict_proba) instead.
     fn predict_proba(&self, features: &[f64]) -> f64;
 
     /// Hard classification at the 0.5 threshold.
     fn predict(&self, features: &[f64]) -> bool {
         self.predict_proba(features) >= 0.5
+    }
+
+    /// [`predict_proba`](Classifier::predict_proba) that rejects
+    /// untrained models instead of answering with the prior,
+    /// export-consistent with `to_text`/`to_bytes` returning `None`
+    /// before a fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] when
+    /// [`is_fitted`](Classifier::is_fitted) is `false`.
+    fn try_predict_proba(&self, features: &[f64]) -> Result<f64, MlError> {
+        if self.is_fitted() {
+            Ok(self.predict_proba(features))
+        } else {
+            Err(MlError::NotFitted)
+        }
+    }
+
+    /// [`predict`](Classifier::predict) that rejects untrained models.
+    ///
+    /// This is the path SmartFlux's `Predictor` queries through: a
+    /// recall-tuned decision threshold below 0.5 would otherwise turn
+    /// the unfitted 0.5 prior into a confident-looking positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] when
+    /// [`is_fitted`](Classifier::is_fitted) is `false`.
+    fn try_predict(&self, features: &[f64]) -> Result<bool, MlError> {
+        if self.is_fitted() {
+            Ok(self.predict(features))
+        } else {
+            Err(MlError::NotFitted)
+        }
     }
 
     /// Serialises the fitted model into a self-describing binary form
@@ -108,12 +151,24 @@ impl Classifier for Box<dyn Classifier> {
         (**self).fit(data)
     }
 
+    fn is_fitted(&self) -> bool {
+        (**self).is_fitted()
+    }
+
     fn predict_proba(&self, features: &[f64]) -> f64 {
         (**self).predict_proba(features)
     }
 
     fn predict(&self, features: &[f64]) -> bool {
         (**self).predict(features)
+    }
+
+    fn try_predict_proba(&self, features: &[f64]) -> Result<f64, MlError> {
+        (**self).try_predict_proba(features)
+    }
+
+    fn try_predict(&self, features: &[f64]) -> Result<bool, MlError> {
+        (**self).try_predict(features)
     }
 
     fn export_bytes(&self) -> Option<Vec<u8>> {

@@ -177,6 +177,10 @@ impl Classifier for NeuralNetwork {
         Ok(())
     }
 
+    fn is_fitted(&self) -> bool {
+        self.scaler.is_some()
+    }
+
     fn predict_proba(&self, features: &[f64]) -> f64 {
         let Some(scaler) = &self.scaler else {
             return 0.5;

@@ -71,6 +71,13 @@ where
         self.models.len()
     }
 
+    /// `true` once every per-label model has been fitted (or decoded
+    /// from a fitted model's bytes).
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        !self.models.is_empty() && self.models.iter().all(|m| m.is_fitted())
+    }
+
     /// Per-label positive probabilities for one feature vector.
     ///
     /// # Panics
@@ -255,7 +262,9 @@ mod tests {
     #[test]
     fn fits_one_model_per_label() {
         let mut m = BinaryRelevance::new(DecisionTree::new());
+        assert!(!m.is_fitted());
         m.fit(&data()).unwrap();
+        assert!(m.is_fitted());
         assert_eq!(m.n_labels(), 3);
         assert!(m.label_model(2).is_some());
         assert!(m.label_model(3).is_none());

@@ -102,6 +102,11 @@ impl Classifier for GaussianNaiveBayes {
         Ok(())
     }
 
+    fn is_fitted(&self) -> bool {
+        // A single-class dataset legitimately fits only one class model.
+        self.positive.is_some() || self.negative.is_some()
+    }
+
     fn predict_proba(&self, features: &[f64]) -> f64 {
         match (&self.positive, &self.negative) {
             (Some(p), Some(n)) => {

@@ -154,6 +154,10 @@ impl Classifier for LinearSvm {
         Ok(())
     }
 
+    fn is_fitted(&self) -> bool {
+        self.scaler.is_some()
+    }
+
     fn predict_proba(&self, features: &[f64]) -> f64 {
         if self.scaler.is_none() {
             return 0.5;

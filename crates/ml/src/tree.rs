@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::arena::TreeArena;
 use crate::codec;
 use crate::dataset::Dataset;
 use crate::error::MlError;
@@ -367,6 +368,48 @@ impl DecisionTree {
         Ok(tree)
     }
 
+    /// Appends the fitted tree to a forest arena: the root slot is
+    /// reserved first, then each split reserves its two children as an
+    /// adjacent pair before recursing, so sibling nodes always end up
+    /// next to each other. Each `emit` returns its subtree's minimum
+    /// leaf depth so the arena can record the tree's check-free walk
+    /// prefix. Returns `false` (appending nothing) before fitting.
+    pub(crate) fn flatten_into(&self, arena: &mut TreeArena) -> bool {
+        fn emit(node: &Node, at: u32, arena: &mut TreeArena) -> u32 {
+            match node {
+                Node::Leaf { p_positive } => {
+                    arena.set_leaf(at, *p_positive);
+                    0
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let kids = arena.alloc_pair();
+                    arena.set_split(at, *feature as u32, *threshold, kids);
+                    let l = emit(left, kids, arena);
+                    let r = emit(right, kids + 1, arena);
+                    1 + l.min(r)
+                }
+            }
+        }
+        match &self.root {
+            Some(root) => {
+                let at = arena.alloc_root();
+                let depth = emit(root, at, arena);
+                arena.record_depth(depth);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The reference prediction path: a pointer walk over the `Box`ed
+    /// training representation. The forest predicts through its
+    /// flattened [`TreeArena`] instead; this walk is kept as the
+    /// independent oracle the parity suite compares against.
     fn leaf_probability(&self, features: &[f64]) -> f64 {
         let mut node = match &self.root {
             Some(n) => n,
@@ -398,6 +441,10 @@ impl Classifier for DecisionTree {
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.root = Some(self.build(data, &indices, 0, &mut rng));
         Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.root.is_some()
     }
 
     fn predict_proba(&self, features: &[f64]) -> f64 {

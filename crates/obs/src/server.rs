@@ -273,6 +273,7 @@ pub fn preregister(telemetry: &Telemetry) {
         names::STORE_SHARD_READ_CONTENTION,
         names::STORE_SHARD_WRITE_CONTENTION,
         names::STORE_QUIESCES,
+        names::ML_BATCH_SIZE,
     ] {
         let _ = telemetry.gauge(name);
     }
@@ -284,6 +285,8 @@ pub fn preregister(telemetry: &Telemetry) {
         names::IMPACT_LATENCY,
         names::PREDICT_LATENCY,
         names::TRAIN_LATENCY,
+        names::ML_PREDICT_LATENCY,
+        names::ML_FIT_LATENCY,
         names::STORE_READ_LATENCY,
         names::STORE_WRITE_LATENCY,
         names::FSYNC_LATENCY,

@@ -328,6 +328,16 @@ pub mod names {
     pub const PREDICT_LATENCY: &str = "engine.predict";
     /// Latency of one model (re)build, including cross-validation.
     pub const TRAIN_LATENCY: &str = "engine.train";
+    /// Latency of one ML-kernel inference pass (the flat-forest walk
+    /// itself, excluding engine bookkeeping around the query).
+    pub const ML_PREDICT_LATENCY: &str = "ml.predict_ns";
+    /// Latency of one ML-kernel training pass (per-label model fitting
+    /// only, excluding the cross-validated test phase that
+    /// [`TRAIN_LATENCY`] covers).
+    pub const ML_FIT_LATENCY: &str = "ml.fit_ns";
+    /// Labels answered by the latest prediction pass (1 for per-step
+    /// queries, the label count for whole-vector `predict_all` passes).
+    pub const ML_BATCH_SIZE: &str = "ml.batch_size";
     /// Data-store read operations (gets, scans, snapshots).
     pub const STORE_READS: &str = "store.reads";
     /// Data-store write operations (puts, deletes).

@@ -491,8 +491,7 @@ mod tests {
 
     #[test]
     fn declared_field_and_matching_use_pass() {
-        let d = run(
-            "struct S {\n\
+        let d = run("struct S {\n\
              \x20   // tidy:atomic(head: acq-rel): ring claims pair with reads\n\
              \x20   head: AtomicU64,\n\
              }\n\
@@ -503,8 +502,7 @@ mod tests {
              \x20   fn read(&self) -> u64 {\n\
              \x20       self.head.load(Ordering::Acquire)\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -524,15 +522,13 @@ mod tests {
 
     #[test]
     fn non_atomic_load_is_ignored_and_arrays_are_fields() {
-        let d = run(
-            "// tidy:atomic(buckets: relaxed): histogram counters\n\
+        let d = run("// tidy:atomic(buckets: relaxed): histogram counters\n\
              struct H {\n    buckets: [AtomicU64; 16],\n}\n\
              impl H {\n\
              \x20   fn bump(&self, i: usize) {\n\
              \x20       self.buckets[i].fetch_add(1, Ordering::Relaxed);\n    }\n\
              \x20   fn model(&self, codec: &Codec) {\n        codec.load(\"path\");\n    }\n\
-             }\n",
-        );
+             }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 

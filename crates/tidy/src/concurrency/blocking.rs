@@ -189,14 +189,12 @@ mod tests {
 
     #[test]
     fn direct_blocking_under_guard_is_reported() {
-        let d = run(
-            "impl S {\n\
+        let d = run("impl S {\n\
              \x20   fn bad(&self) {\n\
              \x20       let g = self.state.lock().unwrap();\n\
              \x20       self.tx.send(g.event.clone()).ok();\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("channel send"), "{d:?}");
         assert!(d[0].message.contains("`state`"), "{d:?}");
@@ -204,8 +202,7 @@ mod tests {
 
     #[test]
     fn transitive_blocking_through_call_graph_is_reported() {
-        let d = run(
-            "impl S {\n\
+        let d = run("impl S {\n\
              \x20   fn persist(&self) {\n\
              \x20       self.file.sync_all().unwrap();\n\
              \x20   }\n\
@@ -214,8 +211,7 @@ mod tests {
              \x20       self.persist();\n\
              \x20       drop(g);\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("persist"), "{d:?}");
         assert!(d[0].message.contains("fsync"), "{d:?}");
@@ -224,32 +220,27 @@ mod tests {
 
     #[test]
     fn receiver_is_guard_group_commit_is_exempt() {
-        let d = run(
-            "impl Manager {\n\
+        let d = run("impl Manager {\n\
              \x20   fn commit(&self, bytes: &[u8]) {\n\
              \x20       self.wal.lock().write_all(bytes).unwrap();\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
     fn blocking_without_guard_is_fine() {
-        let d = run(
-            "impl S {\n\
+        let d = run("impl S {\n\
              \x20   fn flush_all(&self) {\n\
              \x20       self.file.sync_all().unwrap();\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
     fn guard_dropped_before_call_is_fine() {
-        let d = run(
-            "impl S {\n\
+        let d = run("impl S {\n\
              \x20   fn persist(&self) {\n\
              \x20       self.file.sync_all().unwrap();\n\
              \x20   }\n\
@@ -258,8 +249,7 @@ mod tests {
              \x20       drop(g);\n\
              \x20       self.persist();\n\
              \x20   }\n\
-             }\n",
-        );
+             }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -326,7 +326,14 @@ fn scan(
                 continue;
             }
             held.retain(|g| stmt.depth >= g.binding_depth);
-            scan_stmt(symbols, def.impl_type.as_deref(), guard_class, stmt, &mut held, &mut facts[fid]);
+            scan_stmt(
+                symbols,
+                def.impl_type.as_deref(),
+                guard_class,
+                stmt,
+                &mut held,
+                &mut facts[fid],
+            );
         }
     }
     facts
@@ -346,8 +353,8 @@ fn scan_stmt(
     let bytes = text.as_bytes();
     let n = bytes.len();
     let temp_depth = stmt.depth + 1; // survives the block a `{`-stmt opens
-    // (pos of '(' , candidates, all-guard-returning) of each call, for the
-    // trailing-call binding check at the end.
+                                     // (pos of '(' , candidates, all-guard-returning) of each call, for the
+                                     // trailing-call binding check at the end.
     let mut call_opens: Vec<(usize, Vec<usize>)> = Vec::new();
     let mut i = 0usize;
     while i < n {
@@ -429,7 +436,17 @@ fn scan_stmt(
                         }
                     }
                 }
-                push_call(facts, &mut call_opens, stmt, i + 1 + len, name, true, held, on_guard, candidates);
+                push_call(
+                    facts,
+                    &mut call_opens,
+                    stmt,
+                    i + 1 + len,
+                    name,
+                    true,
+                    held,
+                    on_guard,
+                    candidates,
+                );
                 i += 1 + len + 1;
                 continue;
             }
@@ -467,7 +484,17 @@ fn scan_stmt(
                             .filter(|&f| symbols.fns[f].impl_type.is_none())
                             .collect()
                     };
-                    push_call(facts, &mut call_opens, stmt, i + len, name, false, held, false, candidates);
+                    push_call(
+                        facts,
+                        &mut call_opens,
+                        stmt,
+                        i + len,
+                        name,
+                        false,
+                        held,
+                        false,
+                        candidates,
+                    );
                 }
                 i += len + 1;
                 continue;
@@ -736,7 +763,10 @@ fn receiver_is_guard(chain: &str, held: &[LiveGuard]) -> bool {
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
-    !root.is_empty() && held.iter().any(|g| g.name.as_deref() == Some(root.as_str()))
+    !root.is_empty()
+        && held
+            .iter()
+            .any(|g| g.name.as_deref() == Some(root.as_str()))
 }
 
 /// Whether the first macro argument (up to the first comma) is a guard.
@@ -842,7 +872,11 @@ mod tests {
         );
         let stmts = statements(&file);
         assert_eq!(stmts.len(), 3); // signature, chain, closing brace
-        assert!(stmts[1].text.contains("self.state.lock().bump(1);"), "{:?}", stmts[1].text);
+        assert!(
+            stmts[1].text.contains("self.state.lock().bump(1);"),
+            "{:?}",
+            stmts[1].text
+        );
         assert_eq!(stmts[1].line_of(stmts[1].text.find(".bump").unwrap()), 4);
     }
 
@@ -863,7 +897,10 @@ mod tests {
         assert_eq!(facts.acqs[1].class, "other");
         assert_eq!(facts.acqs[1].held.len(), 1);
         assert_eq!(facts.acqs[1].held[0].class, "state");
-        assert!(facts.acqs[2].held.is_empty(), "drop(g) must clear the guard");
+        assert!(
+            facts.acqs[2].held.is_empty(),
+            "drop(g) must clear the guard"
+        );
     }
 
     #[test]
@@ -897,7 +934,10 @@ mod tests {
         let call = facts.calls.iter().find(|c| c.name == "go").unwrap();
         // Receiver is literally `self`, so resolution narrows to A::go.
         assert_eq!(call.resolution, Resolution::Resolved);
-        assert_eq!(m.symbols.fns[call.candidates[0]].impl_type.as_deref(), Some("A"));
+        assert_eq!(
+            m.symbols.fns[call.candidates[0]].impl_type.as_deref(),
+            Some("A")
+        );
     }
 
     #[test]
@@ -916,9 +956,7 @@ mod tests {
 
     #[test]
     fn closure_callbacks_are_unknown_edges() {
-        let m = model(
-            "fn timed(op: impl FnOnce()) {\n    op();\n}\n",
-        );
+        let m = model("fn timed(op: impl FnOnce()) {\n    op();\n}\n");
         let facts = fn_named(&m, "timed");
         let call = facts.calls.iter().find(|c| c.name == "op").unwrap();
         assert_eq!(call.resolution, Resolution::Unknown);
@@ -931,7 +969,10 @@ mod tests {
              fn commit() {\n    let mut b = Vec::new();\n    encode(&mut b);\n    codec::encode(&mut b);\n}\n",
         );
         let facts = fn_named(&m, "commit");
-        let bare = facts.calls.iter().find(|c| c.name == "encode" && !c.is_method);
+        let bare = facts
+            .calls
+            .iter()
+            .find(|c| c.name == "encode" && !c.is_method);
         assert!(bare.is_some_and(|c| c.resolution == Resolution::Resolved));
         // `Vec::new` resolves to nothing local.
         let new = facts.calls.iter().find(|c| c.name == "new").unwrap();

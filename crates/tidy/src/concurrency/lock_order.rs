@@ -79,7 +79,11 @@ struct SummaryEntry {
 /// Runs the pass over one crate's model. Returns the diagnostics (one per
 /// cycle) and the full edge graph.
 #[must_use]
-pub fn check(crate_name: &str, files: &[SourceFile], model: &Model) -> (Vec<Diagnostic>, LockGraph) {
+pub fn check(
+    crate_name: &str,
+    files: &[SourceFile],
+    model: &Model,
+) -> (Vec<Diagnostic>, LockGraph) {
     let n = model.symbols.fns.len();
     let mut summaries: Vec<BTreeMap<String, SummaryEntry>> = vec![BTreeMap::new(); n];
 
@@ -237,8 +241,8 @@ fn report_cycles(crate_name: &str, edges: &[Edge]) -> Vec<Diagnostic> {
     for e in edges {
         let key = (e.from.clone(), e.to.clone());
         match rep.get(&key) {
-            Some(prev)
-                if !(prev.from_mode == LockMode::Read && prev.to_mode == LockMode::Read) => {}
+            Some(prev) if !(prev.from_mode == LockMode::Read && prev.to_mode == LockMode::Read) => {
+            }
             _ => {
                 rep.insert(key, e);
             }
@@ -383,10 +387,7 @@ fn strongly_connected<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a 
 
 /// A concrete cycle within one SCC, as a node list whose first and last
 /// entries coincide.
-fn concrete_cycle(
-    adj: &BTreeMap<&str, Vec<&str>>,
-    scc: &[&str],
-) -> Option<Vec<String>> {
+fn concrete_cycle(adj: &BTreeMap<&str, Vec<&str>>, scc: &[&str]) -> Option<Vec<String>> {
     let inside: BTreeSet<&str> = scc.iter().copied().collect();
     let start = *scc.iter().min()?;
     // DFS from `start` back to `start` staying inside the SCC.

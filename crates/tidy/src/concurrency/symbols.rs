@@ -194,8 +194,7 @@ fn extract_file(fi: usize, file: &SourceFile, fns: &mut Vec<FnDef>) {
                             body_end: ln, // fixed up at close
                             signature: pf.sig,
                             returns_guard,
-                            is_test: file.role != FileRole::Lib
-                                || file.is_test_line(pf.decl_line),
+                            is_test: file.role != FileRole::Lib || file.is_test_line(pf.decl_line),
                         });
                         open_fns.push(OpenFn {
                             idx: fns.len() - 1,
@@ -408,9 +407,7 @@ mod tests {
 
     #[test]
     fn nested_fn_owns_its_lines() {
-        let t = table(
-            "fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n",
-        );
+        let t = table("fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n");
         assert_eq!(t.fns.len(), 2);
         let outer = t.fns.iter().position(|f| f.name == "outer").unwrap();
         let inner = t.fns.iter().position(|f| f.name == "inner").unwrap();

@@ -255,12 +255,14 @@ pub fn run_checks_full(units: &[CrateUnit], selected: &[CheckId]) -> RunReport {
         }
     }
 
-    live.sort_by(|a, b| (&a.path, a.line, a.check.as_str(), &a.message).cmp(&(
-        &b.path,
-        b.line,
-        b.check.as_str(),
-        &b.message,
-    )));
+    live.sort_by(|a, b| {
+        (&a.path, a.line, a.check.as_str(), &a.message).cmp(&(
+            &b.path,
+            b.line,
+            b.check.as_str(),
+            &b.message,
+        ))
+    });
     live.dedup();
     RunReport {
         diagnostics: live,

@@ -195,10 +195,7 @@ fn cross_module_free_call_resolves_to_one_edge() {
         .find(|c| c.name == "encode_op")
         .expect("call recorded");
     assert_eq!(call.resolution, Resolution::Resolved);
-    assert_eq!(
-        model.symbols.fns[call.candidates[0]].name,
-        "encode_op"
-    );
+    assert_eq!(model.symbols.fns[call.candidates[0]].name, "encode_op");
 }
 
 #[test]
@@ -282,5 +279,8 @@ fn stale_allow_is_reported_and_live_allow_is_not() {
     assert_eq!(dangling[0].line, 7);
     // The load-bearing allow on `g` is not flagged, and the panic it
     // suppresses stays suppressed.
-    assert!(!diags.iter().any(|d| d.check == CheckId::Panic), "{diags:?}");
+    assert!(
+        !diags.iter().any(|d| d.check == CheckId::Panic),
+        "{diags:?}"
+    );
 }

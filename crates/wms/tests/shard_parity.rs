@@ -161,8 +161,9 @@ fn parallel_waves_on_a_sharded_store_match_the_sequential_single_run() {
     // compare snapshots rather than the full export.
     assert_eq!(store_state(&seq), store_state(&par));
 
-    // Both runs issued the same number of puts, so the clocks agree even
-    // though individual timestamps may differ.
+    // Both runs applied the same number of puts — and the clock counts
+    // exactly the applied mutations — so the clocks agree even though
+    // individual timestamps may differ.
     assert_eq!(seq.store().clock(), par.store().clock());
 
     // Per-step tallies agree.

@@ -1,0 +1,5 @@
+//! Network-plane throughput micro-bench: SFNP waves/sec and submit latency.
+
+fn main() {
+    smartflux_bench::exp::net_throughput::run();
+}

@@ -271,6 +271,7 @@ pub mod exp {
     pub mod fig11;
     pub mod forest_inference;
     pub mod motivating;
+    pub mod net_throughput;
     pub mod overhead;
     pub mod roc;
     pub mod store_scaling;

@@ -359,6 +359,28 @@ impl QodEngine {
         self.durability_error.take()
     }
 
+    /// Writes a checkpoint for `wave` immediately, off the configured
+    /// interval — the host shutdown path uses this so a drained session
+    /// resumes at its final wave instead of replaying from the last
+    /// periodic checkpoint. Returns `false` (without touching disk) when
+    /// durability is not configured or no wave has completed yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] if the checkpoint write fails.
+    pub fn checkpoint_at(&mut self, wave: u64) -> Result<bool, CoreError> {
+        let Some(manager) = &self.durability else {
+            return Ok(false);
+        };
+        if wave == 0 {
+            return Ok(false);
+        }
+        manager
+            .checkpoint(wave, &self.store, self.encode_state())
+            .map_err(CoreError::Durability)?;
+        Ok(true)
+    }
+
     /// The engine's current phase.
     #[must_use]
     pub fn phase(&self) -> Phase {

@@ -310,6 +310,22 @@ impl SmartFluxSession {
         let next = self.scheduler.next_wave();
         self.engine.with_mut(|e| e.request_training(next, waves));
     }
+
+    /// Checkpoints store and engine state at the last completed wave,
+    /// regardless of the periodic checkpoint interval. Used by orderly
+    /// shutdown paths (the network host's drain) so [`recover`] resumes
+    /// exactly where processing stopped. Returns `false` when durability
+    /// is not configured or no wave has run yet.
+    ///
+    /// [`recover`]: Self::recover
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] if the checkpoint write fails.
+    pub fn checkpoint(&mut self) -> Result<bool, CoreError> {
+        let last_wave = self.scheduler.next_wave().saturating_sub(1);
+        self.engine.with_mut(|e| e.checkpoint_at(last_wave))
+    }
 }
 
 /// Builds the telemetry handle `config` asks for and wires the store's op

@@ -46,7 +46,12 @@ pub struct Checkpoint {
     pub engine: Vec<u8>,
 }
 
-fn encode_store(state: &StoreState) -> Vec<u8> {
+/// Encodes a full [`StoreState`] into the canonical durable byte form
+/// (the checkpoint's store frame). Public so other wire formats — the
+/// `smartflux-net` protocol ships exact store images for equivalence
+/// checks — reuse this encoding instead of inventing a second one.
+#[must_use]
+pub fn encode_store_state(state: &StoreState) -> Vec<u8> {
     let mut out = Vec::new();
     put_u64(&mut out, state.clock);
     put_u64(&mut out, state.max_versions as u64);
@@ -71,7 +76,13 @@ fn encode_store(state: &StoreState) -> Vec<u8> {
     out
 }
 
-fn decode_store(payload: &[u8]) -> Result<StoreState, DurabilityError> {
+/// Decodes a [`StoreState`] produced by [`encode_store_state`].
+///
+/// # Errors
+///
+/// Returns [`DurabilityError::Corrupt`] on truncation, trailing bytes, or
+/// malformed values; never panics on malformed input.
+pub fn decode_store_state(payload: &[u8]) -> Result<StoreState, DurabilityError> {
     let mut r = Reader::new(payload);
     let clock = r.u64()?;
     let max_versions = r.u64()? as usize;
@@ -130,7 +141,7 @@ pub fn write_checkpoint(dir: &Path, checkpoint: &Checkpoint) -> Result<u64, Dura
 
     let mut buf = Vec::new();
     write_frame(&mut buf, &meta);
-    write_frame(&mut buf, &encode_store(&checkpoint.store));
+    write_frame(&mut buf, &encode_store_state(&checkpoint.store));
     write_frame(&mut buf, &checkpoint.engine);
 
     let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
@@ -206,7 +217,7 @@ pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, DurabilityError
     Ok(Some(Checkpoint {
         wave,
         clock,
-        store: decode_store(frames[1])?,
+        store: decode_store_state(frames[1])?,
         engine: frames[2].to_vec(),
     }))
 }

@@ -74,7 +74,10 @@ mod options;
 mod recover;
 mod wal;
 
-pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CHECKPOINT_FILE};
+pub use checkpoint::{
+    decode_store_state, encode_store_state, read_checkpoint, write_checkpoint, Checkpoint,
+    CHECKPOINT_FILE,
+};
 pub use crc::crc32;
 pub use error::DurabilityError;
 pub use manager::{DurabilityManager, WAL_FILE};

@@ -1,0 +1,101 @@
+//! Typed errors for the network plane.
+
+use std::fmt;
+
+use smartflux_durability::DurabilityError;
+
+use crate::wire::ErrorCode;
+
+/// Everything that can go wrong speaking SFNP.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The stream ended in the middle of a frame — the peer died or the
+    /// connection was cut mid-write.
+    Torn,
+    /// A complete frame failed validation: CRC mismatch, oversized
+    /// declared length, or a malformed body.
+    Corrupt {
+        /// What failed to decode.
+        context: String,
+    },
+    /// The peer's handshake advertised a protocol version this build
+    /// does not speak.
+    UnsupportedVersion {
+        /// The version the peer offered.
+        found: u16,
+    },
+    /// The server rejected the submission because the session's bounded
+    /// queue is full; retry after draining in-flight work.
+    Busy,
+    /// The peer closed the connection where a response was expected.
+    Closed,
+    /// A typed error frame received from the peer.
+    Remote {
+        /// The machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable context from the peer.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Torn => f.write_str("connection ended mid-frame"),
+            NetError::Corrupt { context } => write!(f, "corrupt frame: {context}"),
+            NetError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            NetError::Busy => f.write_str("session queue is full (busy)"),
+            NetError::Closed => f.write_str("connection closed before a response arrived"),
+            NetError::Remote { code, message } => {
+                write!(f, "peer error ({}): {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<DurabilityError> for NetError {
+    fn from(e: DurabilityError) -> Self {
+        // The durability codec's failures are all decode failures from
+        // this crate's point of view (its I/O never runs here).
+        NetError::Corrupt {
+            context: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::Torn.to_string().contains("mid-frame"));
+        assert!(NetError::Busy.to_string().contains("busy"));
+        let remote = NetError::Remote {
+            code: ErrorCode::UnknownSession,
+            message: "no session 9".into(),
+        };
+        assert!(remote.to_string().contains("unknown-session"));
+        assert!(remote.to_string().contains("no session 9"));
+    }
+}

@@ -1,0 +1,123 @@
+//! The host's workload registry: name → workflow builder + base config.
+//!
+//! Clients never ship code over the wire; [`Request::OpenSession`] names
+//! a workload the host operator registered up front. Each entry pairs a
+//! builder closure (creates the containers on a fresh [`DataStore`] and
+//! returns the bound [`Workflow`]) with the base [`EngineConfig`] for
+//! sessions of that workload — the session spec may then override the
+//! seed and training-phase length per session.
+//!
+//! [`Request::OpenSession`]: crate::wire::Request::OpenSession
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use smartflux::EngineConfig;
+use smartflux_datastore::DataStore;
+use smartflux_wms::Workflow;
+
+/// A shareable workflow constructor. Must be deterministic: building the
+/// same workload twice (on two fresh stores) must yield workflows that
+/// behave identically over the same waves, which is what makes resumed
+/// durable sessions and the net/in-process equivalence guarantee hold.
+pub type WorkflowBuilder = Arc<dyn Fn(&DataStore) -> Workflow + Send + Sync>;
+
+#[derive(Clone)]
+struct Entry {
+    config: EngineConfig,
+    builder: WorkflowBuilder,
+}
+
+/// Named workloads an [`EngineHost`] can open sessions over.
+///
+/// [`EngineHost`]: crate::host::EngineHost
+#[derive(Clone, Default)]
+pub struct WorkflowRegistry {
+    entries: HashMap<String, Entry>,
+}
+
+impl WorkflowRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name`, replacing any previous entry of the same name.
+    pub fn register<F>(&mut self, name: impl Into<String>, config: EngineConfig, builder: F)
+    where
+        F: Fn(&DataStore) -> Workflow + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            name.into(),
+            Entry {
+                config,
+                builder: Arc::new(builder),
+            },
+        );
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Registered workload names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered workloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The base config and builder for `name`.
+    pub(crate) fn get(&self, name: &str) -> Option<(EngineConfig, WorkflowBuilder)> {
+        self.entries
+            .get(name)
+            .map(|e| (e.config.clone(), Arc::clone(&e.builder)))
+    }
+}
+
+impl std::fmt::Debug for WorkflowRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowRegistry")
+            .field("workloads", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = WorkflowRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("b", EngineConfig::new(), |_store| unreachable!());
+        reg.register(
+            "a",
+            EngineConfig::new().with_seed(7),
+            |_store| unreachable!(),
+        );
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a"));
+        assert!(!reg.contains("c"));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("c").is_none());
+    }
+}

@@ -18,6 +18,10 @@
 //!   taxonomy guarantees.
 //! - **[`openmetrics`] / [`perfetto`]** — the exposition renderers, plus
 //!   a hand-rolled OpenMetrics parser for conformance checks.
+//! - **[`ListenerPool`]** — the shared blocking TCP accept/worker-pool
+//!   skeleton (with the release/acquire shutdown flag and loopback-wake
+//!   drain) used by both this crate's HTTP server and the
+//!   `smartflux-net` engine host.
 //!
 //! Layering: this crate depends only on `smartflux-telemetry` (and the
 //! vendored `parking_lot`), so any layer that owns a [`Telemetry`]
@@ -30,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod listener;
 pub mod openmetrics;
 pub mod perfetto;
 mod ring;
 mod server;
 pub mod trace;
 
+pub use listener::{ListenerPool, StopFlag};
 pub use ring::{RingJournal, RingTraceSink};
 pub use server::{preregister, ObsServer, ObsSources};

@@ -1,0 +1,185 @@
+//! Shared blocking TCP listener / worker-pool plumbing.
+//!
+//! Both network-facing planes of the stack — the observability HTTP
+//! server in this crate and the SFNP engine host in `smartflux-net` —
+//! need the same skeleton: bind a [`TcpListener`], clone it into a small
+//! fixed pool of worker threads that each `accept` and hand the stream
+//! to a connection handler, and shut down gracefully by flipping a stop
+//! flag and poking every worker with a loopback connection so none stays
+//! parked in `accept`. This module is that skeleton, extracted so the
+//! shutdown-flag memory-ordering discipline (release store, acquire
+//! loads) lives in exactly one place.
+//!
+//! Handlers receive the accepted [`TcpStream`] plus a [`StopFlag`] they
+//! can poll; short-lived handlers (one HTTP request) may ignore the
+//! flag, long-lived ones (a framed-protocol connection) should check it
+//! between read timeouts so [`ListenerPool::shutdown`] completes in
+//! bounded time.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A cloneable view of the pool's shutdown flag, handed to connection
+/// handlers so long-lived connections can notice shutdown between reads.
+#[derive(Debug, Clone)]
+pub struct StopFlag {
+    // tidy:atomic(stop: acq-rel): shutdown flag — release store publishes the decision, acquire loads in workers observe it; nothing here needs a total order
+    stop: Arc<AtomicBool>,
+}
+
+impl StopFlag {
+    fn new() -> Self {
+        Self {
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether shutdown was requested.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// A bound listener plus its accept/serve worker threads.
+///
+/// Dropping the pool without calling [`shutdown`](Self::shutdown)
+/// detaches the workers: they keep serving until process exit.
+#[derive(Debug)]
+pub struct ListenerPool {
+    addr: SocketAddr,
+    stop: StopFlag,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ListenerPool {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts `workers` accept threads, each serving accepted
+    /// connections through `handler` one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding errors (address in use, permission denied, ...).
+    pub fn start<H>(addr: &str, workers: usize, handler: H) -> io::Result<Self>
+    where
+        H: Fn(TcpStream, &StopFlag) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = StopFlag::new();
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let listener = listener.try_clone()?;
+                let handler = Arc::clone(&handler);
+                let stop = stop.clone();
+                Ok(std::thread::spawn(move || {
+                    accept_loop(&listener, handler.as_ref(), &stop);
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks every worker, and joins them.
+    ///
+    /// Workers already inside a connection handler finish that
+    /// connection first (long-lived handlers are expected to poll the
+    /// [`StopFlag`] so this is bounded).
+    pub fn shutdown(self) {
+        self.stop.set();
+        // One dummy connection per worker pops each out of accept().
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop<H>(listener: &TcpListener, handler: &H, stop: &StopFlag)
+where
+    H: Fn(TcpStream, &StopFlag),
+{
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.is_set() {
+                return;
+            }
+            continue;
+        };
+        if stop.is_set() {
+            return;
+        }
+        handler(stream, stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    #[test]
+    fn serves_connections_and_joins_on_shutdown() {
+        let pool = ListenerPool::start("127.0.0.1:0", 2, |mut stream, _stop| {
+            let mut byte = [0u8; 1];
+            if stream.read_exact(&mut byte).is_ok() {
+                let _ = stream.write_all(&[byte[0] + 1]);
+            }
+        })
+        .unwrap();
+        let addr = pool.addr();
+
+        for v in [1u8, 41] {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            c.write_all(&[v]).unwrap();
+            let mut reply = [0u8; 1];
+            c.read_exact(&mut reply).unwrap();
+            assert_eq!(reply[0], v + 1);
+        }
+
+        pool.shutdown();
+    }
+
+    #[test]
+    fn handlers_observe_the_stop_flag() {
+        let pool = ListenerPool::start("127.0.0.1:0", 1, |mut stream, stop| {
+            // A long-lived handler: poll until shutdown, then report it.
+            while !stop.is_set() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let _ = stream.write_all(b"bye");
+        })
+        .unwrap();
+        let addr = pool.addr();
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Give the worker a moment to accept before shutdown races it.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.shutdown();
+        let mut reply = [0u8; 3];
+        c.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"bye");
+    }
+}

@@ -1,9 +1,9 @@
 //! The embedded observability HTTP server.
 //!
-//! A hand-rolled HTTP/1.1 server on std's [`TcpListener`]: a small fixed
-//! pool of worker threads each `accept`s on its own clone of the
-//! listener, serves one request per connection, and exits on the
-//! shutdown flag. Graceful shutdown flips the flag and pokes each worker
+//! A hand-rolled HTTP/1.1 server on the shared [`ListenerPool`]: a small
+//! fixed pool of worker threads each `accept`s on its own clone of the
+//! listener and serves one request per connection. Graceful shutdown is
+//! the pool's loopback-wake pattern: flip the flag, poke each worker
 //! with a local connection so no thread stays parked in `accept`.
 //!
 //! Endpoints:
@@ -16,15 +16,14 @@
 //! | `/trace`    | Chrome trace JSON of the span ring (`?waves=N` to filter) |
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use smartflux_telemetry::{names, SpanEvent, Telemetry};
 
 use crate::http::{read_request, write_response, Request};
+use crate::listener::ListenerPool;
 use crate::openmetrics;
 use crate::perfetto;
 use crate::ring::{RingJournal, RingTraceSink};
@@ -53,10 +52,7 @@ pub struct ObsSources {
 /// until process exit).
 #[derive(Debug)]
 pub struct ObsServer {
-    addr: SocketAddr,
-    // tidy:atomic(stop: acq-rel): shutdown flag — release store publishes the decision, acquire loads in workers observe it; nothing here needs a total order
-    stop: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    pool: ListenerPool,
 }
 
 impl ObsServer {
@@ -67,70 +63,33 @@ impl ObsServer {
     ///
     /// Returns binding errors (address in use, permission denied, ...).
     pub fn start(addr: &str, sources: ObsSources, workers: usize) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..workers.max(1))
-            .map(|_| {
-                let listener = listener.try_clone()?;
-                let sources = sources.clone();
-                let stop = Arc::clone(&stop);
-                Ok(std::thread::spawn(move || {
-                    worker_loop(&listener, &sources, &stop)
-                }))
-            })
-            .collect::<io::Result<Vec<_>>>()?;
-        Ok(Self {
-            addr,
-            stop,
-            workers,
-        })
+        let pool = ListenerPool::start(addr, workers, move |mut stream, _stop| {
+            serve_connection(&mut stream, &sources);
+        })?;
+        Ok(Self { pool })
     }
 
     /// The bound address (useful with port 0).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.pool.addr()
     }
 
     /// Stops accepting, unblocks every worker, and joins them.
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::Release);
-        // One dummy connection per worker pops each out of accept().
-        for _ in &self.workers {
-            let _ = TcpStream::connect(self.addr);
-        }
-        for worker in self.workers {
-            let _ = worker.join();
-        }
+        self.pool.shutdown();
     }
 }
 
-fn worker_loop(listener: &TcpListener, sources: &ObsSources, stop: &AtomicBool) {
-    loop {
-        let Ok((mut stream, _peer)) = listener.accept() else {
-            if stop.load(Ordering::Acquire) {
-                return;
-            }
-            continue;
-        };
-        if stop.load(Ordering::Acquire) {
-            return;
-        }
-        let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
-        let Ok(request) = read_request(&mut stream) else {
-            let _ = write_response(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                "bad request\n",
-            );
-            continue;
-        };
-        let _ = respond(&mut stream, &request, sources);
-    }
+/// Serves one HTTP request on a freshly accepted connection.
+fn serve_connection(stream: &mut TcpStream, sources: &ObsSources) {
+    let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
+    let Ok(request) = read_request(stream) else {
+        let _ = write_response(stream, 400, "Bad Request", "text/plain", "bad request\n");
+        return;
+    };
+    let _ = respond(stream, &request, sources);
 }
 
 fn respond(stream: &mut TcpStream, request: &Request, sources: &ObsSources) -> io::Result<()> {
@@ -265,6 +224,11 @@ pub fn preregister(telemetry: &Telemetry) {
         names::CHECKPOINTS,
         names::RECOVERIES,
         names::JOURNAL_ERRORS,
+        names::NET_CONNECTIONS,
+        names::NET_FRAMES_IN,
+        names::NET_FRAMES_OUT,
+        names::NET_FRAME_ERRORS,
+        names::NET_BUSY_REJECTIONS,
     ] {
         let _ = telemetry.counter(name);
     }
@@ -274,6 +238,9 @@ pub fn preregister(telemetry: &Telemetry) {
         names::STORE_SHARD_WRITE_CONTENTION,
         names::STORE_QUIESCES,
         names::ML_BATCH_SIZE,
+        names::NET_ACTIVE_CONNECTIONS,
+        names::NET_SESSIONS_OPEN,
+        names::NET_QUEUE_DEPTH,
     ] {
         let _ = telemetry.gauge(name);
     }
@@ -292,6 +259,7 @@ pub fn preregister(telemetry: &Telemetry) {
         names::FSYNC_LATENCY,
         names::WAL_COMMIT_LATENCY,
         names::CHECKPOINT_WRITE_LATENCY,
+        names::NET_SUBMIT_LATENCY,
     ] {
         let _ = telemetry.histogram(name);
     }

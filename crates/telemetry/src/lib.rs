@@ -370,6 +370,27 @@ pub mod names {
     pub const WAL_COMMIT_LATENCY: &str = "durability.commit";
     /// Latency of one checkpoint write (store export + file + compaction).
     pub const CHECKPOINT_WRITE_LATENCY: &str = "durability.checkpoint_write";
+    /// Connections accepted by the network plane since start.
+    pub const NET_CONNECTIONS: &str = "net.connections";
+    /// Connections currently being served by the network plane.
+    pub const NET_ACTIVE_CONNECTIONS: &str = "net.active_connections";
+    /// SFNP frames successfully read from clients.
+    pub const NET_FRAMES_IN: &str = "net.frames_in";
+    /// SFNP frames written to clients (responses and error frames).
+    pub const NET_FRAMES_OUT: &str = "net.frames_out";
+    /// Torn, corrupt or undecodable frames received (each closes its
+    /// connection; session state is never touched).
+    pub const NET_FRAME_ERRORS: &str = "net.frame_errors";
+    /// Submissions rejected with a `Busy` frame because the session's
+    /// bounded queue was full.
+    pub const NET_BUSY_REJECTIONS: &str = "net.busy_rejections";
+    /// Sessions currently open on the engine host.
+    pub const NET_SESSIONS_OPEN: &str = "net.sessions_open";
+    /// Jobs queued across all session queues (sampled at enqueue/dequeue).
+    pub const NET_QUEUE_DEPTH: &str = "net.queue_depth";
+    /// Server-side submit→result latency of one `SubmitWave` request
+    /// (write application plus the triggered wave, queueing excluded).
+    pub const NET_SUBMIT_LATENCY: &str = "net.submit";
 }
 
 #[cfg(test)]

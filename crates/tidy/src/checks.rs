@@ -134,7 +134,7 @@ impl fmt::Display for Diagnostic {
 /// Internal crates (prefix match for `smartflux`) and their permitted
 /// internal dependencies — the documented architecture. Crates absent from
 /// this table may depend on every internal crate (leaf consumers).
-const LAYERING: [(&str, &[&str]); 11] = [
+const LAYERING: [(&str, &[&str]); 12] = [
     ("smartflux-telemetry", &[]),
     ("smartflux-obs", &["smartflux-telemetry"]),
     ("smartflux-datastore", &[]),
@@ -155,6 +155,17 @@ const LAYERING: [(&str, &[&str]); 11] = [
             "smartflux-wms",
             "smartflux-ml",
             "smartflux-telemetry",
+            "smartflux-durability",
+        ],
+    ),
+    (
+        "smartflux-net",
+        &[
+            "smartflux",
+            "smartflux-obs",
+            "smartflux-telemetry",
+            "smartflux-wms",
+            "smartflux-datastore",
             "smartflux-durability",
         ],
     ),
@@ -263,13 +274,14 @@ pub fn check_panic(file: &SourceFile) -> Vec<Diagnostic> {
 
 /// Crates that must use the vendored `parking_lot` instead of `std::sync`
 /// locks.
-pub const PARKING_LOT_CRATES: [&str; 6] = [
+pub const PARKING_LOT_CRATES: [&str; 7] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-telemetry",
     "smartflux-durability",
     "smartflux-obs",
+    "smartflux-net",
 ];
 
 /// Flags `std::sync::Mutex`/`RwLock` usage in parking_lot crates.
@@ -430,12 +442,13 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 }
 
 /// Crates whose telemetry call sites must be guard-checked.
-pub const TELEMETRY_GUARD_CRATES: [&str; 5] = [
+pub const TELEMETRY_GUARD_CRATES: [&str; 6] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-durability",
     "smartflux-obs",
+    "smartflux-net",
 ];
 
 const METRIC_TOKENS: [&str; 3] = [".counter(", ".histogram(", ".gauge("];
@@ -560,7 +573,7 @@ pub fn check_time(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 
 /// Crates whose `src/lib.rs` must carry `#![warn(missing_docs)]` (every
 /// internal crate except the bench harness opts in).
-pub const MISSING_DOCS_OPT_IN: [&str; 9] = [
+pub const MISSING_DOCS_OPT_IN: [&str; 10] = [
     "smartflux",
     "smartflux-datastore",
     "smartflux-wms",
@@ -570,6 +583,7 @@ pub const MISSING_DOCS_OPT_IN: [&str; 9] = [
     "smartflux-tidy",
     "smartflux-durability",
     "smartflux-obs",
+    "smartflux-net",
 ];
 
 /// Tabs, trailing whitespace, `dbg!`, `TODO`/`FIXME` without an issue

@@ -30,13 +30,14 @@ pub mod symbols;
 
 /// Crates the concurrency passes run on. Leaf/bench/tooling crates are
 /// excluded: they are single-threaded drivers and would only add noise.
-pub const CONCURRENCY_CRATES: [&str; 6] = [
+pub const CONCURRENCY_CRATES: [&str; 7] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-telemetry",
     "smartflux-durability",
     "smartflux-obs",
+    "smartflux-net",
 ];
 
 /// Acquisition mode of a lock class.

@@ -20,6 +20,15 @@ pub enum NetError {
         /// What failed to decode.
         context: String,
     },
+    /// An outbound payload exceeds [`MAX_FRAME`] and was refused before
+    /// a single byte hit the stream — the peer would reject the frame
+    /// as corrupt, so it is never sent.
+    ///
+    /// [`MAX_FRAME`]: crate::wire::MAX_FRAME
+    FrameTooLarge {
+        /// The payload length that was refused.
+        len: usize,
+    },
     /// The peer's handshake advertised a protocol version this build
     /// does not speak.
     UnsupportedVersion {
@@ -46,6 +55,11 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "network I/O error: {e}"),
             NetError::Torn => f.write_str("connection ended mid-frame"),
             NetError::Corrupt { context } => write!(f, "corrupt frame: {context}"),
+            NetError::FrameTooLarge { len } => write!(
+                f,
+                "payload of {len} bytes exceeds the {} byte frame limit",
+                crate::wire::MAX_FRAME
+            ),
             NetError::UnsupportedVersion { found } => {
                 write!(f, "unsupported protocol version {found}")
             }
@@ -91,6 +105,9 @@ mod tests {
     fn display_is_informative() {
         assert!(NetError::Torn.to_string().contains("mid-frame"));
         assert!(NetError::Busy.to_string().contains("busy"));
+        let oversized = NetError::FrameTooLarge { len: 17_000_000 };
+        assert!(oversized.to_string().contains("17000000"));
+        assert!(oversized.to_string().contains("frame limit"));
         let remote = NetError::Remote {
             code: ErrorCode::UnknownSession,
             message: "no session 9".into(),

@@ -10,11 +10,16 @@
 //! submission that arrives with the queue full is rejected immediately
 //! with [`Response::Busy`] instead of absorbing unbounded memory.
 //!
-//! Scheduling works on tickets: every queued job sends the session id
-//! down one shared unbounded channel; each ticket wakes one worker,
-//! which locks that session, pops exactly one job from its queue, runs
-//! it, and replies on the job's private channel. Ticket count always
-//! equals job count, so no job is stranded.
+//! Scheduling works on tickets: a job enqueued onto an *idle* session
+//! sends that session's slot down one shared unbounded channel; the
+//! ticket wakes one worker, which becomes the session's sole server —
+//! it locks the session, pops jobs FIFO, and after each job either
+//! parks the session (queue empty) or re-sends the ticket so other
+//! sessions' work interleaves fairly across the pool. At most one
+//! worker ever serves a given session, so a slow session costs the
+//! pool exactly one thread, and every queued job is answered either by
+//! its session's server or by the close/kill drain paths — never
+//! stranded.
 //!
 //! Shutdown comes in two flavours:
 //!
@@ -152,14 +157,31 @@ struct Job {
     reply: Sender<Response>,
 }
 
+/// Queue state behind one mutex, so admission, close, and the serving
+/// hand-off all agree on a single interleaving.
+#[derive(Default)]
+struct SessionQueue {
+    /// Pending jobs, strictly FIFO.
+    jobs: VecDeque<Job>,
+    /// True while a ticket for this session is in flight or a worker is
+    /// serving it. [`EngineHost::enqueue`] sends a ticket only on the
+    /// idle→serving transition; the server clears the flag only after
+    /// observing an empty queue under this mutex.
+    serving: bool,
+    /// Set (under this mutex) by the Close job *before* it drains
+    /// leftovers; `enqueue` checks it under the same lock, so no job
+    /// can slip in after the drain and sit in a queue nothing serves.
+    closed: bool,
+}
+
 struct SessionSlot {
+    id: u64,
     durable: bool,
     /// `None` once the session is closed. Lock order: this mutex is
     /// always acquired *before* `queue` and before the host-wide
     /// `sessions` map lock; never the other way around.
     session: Mutex<Option<SmartFluxSession>>,
-    /// Pending jobs, strictly FIFO.
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<SessionQueue>,
 }
 
 struct HostInner {
@@ -172,16 +194,30 @@ struct HostInner {
     next_id: AtomicU64,
     /// `None` once shutdown begins; cloned out (single statement) before
     /// each send so the channel is never used under the mutex.
-    tickets: Mutex<Option<Sender<u64>>>,
+    tickets: Mutex<Option<Sender<Arc<SessionSlot>>>>,
     /// Workers share the single receiver; `recv` under the mutex *is*
     /// the dispatch protocol (the holder parks until a ticket arrives,
-    /// takes it, and releases before executing).
-    ticket_rx: Mutex<Receiver<u64>>,
+    /// takes it, and releases before executing). The receiver lives
+    /// here for the host's whole lifetime, so a ticket send through a
+    /// live sender clone can never fail.
+    ticket_rx: Mutex<Receiver<Arc<SessionSlot>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     // tidy:atomic(accepting: acq-rel): admission flag — the release store at shutdown publishes the decision, acquire loads in request paths observe it; no total order needed
     accepting: AtomicBool,
     // tidy:atomic(abort: acq-rel): kill switch — release store in kill(), acquire loads in workers skip queued jobs after it
     abort: AtomicBool,
+}
+
+/// Outcome of an orderly [`EngineHost::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Durable sessions whose close-time checkpoint was written.
+    pub checkpointed: usize,
+    /// Close-time checkpoint failures, one `session <id>: <error>` line
+    /// each. Durable sessions run under `SyncPolicy::Never`, so a
+    /// session listed here may have an unsynced WAL tail — an orderly
+    /// shutdown with failures must not be treated as clean.
+    pub checkpoint_failures: Vec<String>,
 }
 
 /// The multi-session engine host (cheaply cloneable handle).
@@ -326,9 +362,10 @@ impl EngineHost {
         let next_wave = session.scheduler().next_wave();
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(SessionSlot {
+            id,
             durable,
             session: Mutex::new(Some(session)),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(SessionQueue::default()),
         });
         inner.sessions.write().insert(id, slot);
         if let Some(m) = &inner.metrics {
@@ -413,9 +450,11 @@ impl EngineHost {
 
     /// Orderly shutdown: stops admitting requests, lets the workers
     /// finish every queued job, joins them, then checkpoints and closes
-    /// every durable session. Returns how many sessions were
-    /// checkpointed. Idempotent.
-    pub fn shutdown(&self) -> usize {
+    /// every durable session. The report counts the checkpoints written
+    /// and lists every checkpoint that *failed* — a failure means the
+    /// session's WAL tail may be unsynced, so callers must not fold it
+    /// into "nothing to checkpoint". Idempotent.
+    pub fn shutdown(&self) -> ShutdownReport {
         let inner = &self.inner;
         inner.accepting.store(false, Ordering::Release);
         drop(inner.tickets.lock().take());
@@ -429,19 +468,25 @@ impl EngineHost {
             .drain()
             .map(|(_, slot)| slot)
             .collect();
-        let mut checkpointed = 0;
+        let mut report = ShutdownReport::default();
         for slot in slots {
             let taken = slot.session.lock().take();
             if let Some(mut session) = taken {
                 if let Some(m) = &inner.metrics {
                     m.sessions_open.add(-1);
                 }
-                if slot.durable && matches!(session.checkpoint(), Ok(true)) {
-                    checkpointed += 1;
+                if slot.durable {
+                    match session.checkpoint() {
+                        Ok(true) => report.checkpointed += 1,
+                        Ok(false) => {}
+                        Err(e) => report
+                            .checkpoint_failures
+                            .push(format!("session {}: {e}", slot.id)),
+                    }
                 }
             }
         }
-        checkpointed
+        report
     }
 
     /// Simulated crash: queued jobs are answered with a
@@ -465,11 +510,14 @@ impl EngineHost {
             .map(|(_, slot)| slot)
             .collect();
         for slot in slots {
-            // Belt and braces: every job's ticket was drained by the
-            // abort path above, but any straggler still queued gets a
-            // typed reply rather than a hang.
-            let leftovers: Vec<Job> = slot.queue.lock().drain(..).collect();
+            // Belt and braces: the abort path drained every served
+            // session, but any straggler still queued gets a typed
+            // reply rather than a hang.
+            let leftovers = std::mem::take(&mut slot.queue.lock().jobs);
             for job in leftovers {
+                if let Some(m) = &inner.metrics {
+                    m.queue_depth.add(-1);
+                }
                 let _ = job
                     .reply
                     .send(error_response(ErrorCode::ShuttingDown, "host killed"));
@@ -503,26 +551,37 @@ impl EngineHost {
             return error_response(ErrorCode::ShuttingDown, "host is shutting down");
         };
         let (reply_tx, reply_rx) = unbounded();
-        {
+        let schedule = {
             let mut queue = slot.queue.lock();
-            if !control && queue.len() >= inner.config.queue_capacity {
-                let depth = queue.len() as u32;
+            // Checked under the queue mutex the Close drain also holds:
+            // either this job lands before the drain (and is answered by
+            // it), or it observes `closed` — it can never be pushed into
+            // a queue nothing will ever serve again.
+            if queue.closed {
+                return unknown_session(id);
+            }
+            if !control && queue.jobs.len() >= inner.config.queue_capacity {
+                let depth = queue.jobs.len() as u32;
                 drop(queue);
                 if let Some(m) = &inner.metrics {
                     m.busy_rejections.incr();
                 }
                 return Response::Busy { session: id, depth };
             }
-            queue.push_back(Job {
+            queue.jobs.push_back(Job {
                 request,
                 reply: reply_tx,
             });
-        }
+            !std::mem::replace(&mut queue.serving, true)
+        };
         if let Some(m) = &inner.metrics {
             m.queue_depth.add(1);
         }
-        if ticket_tx.send(id).is_err() {
-            return error_response(ErrorCode::ShuttingDown, "host is shutting down");
+        if schedule {
+            // Idle→serving transition: wake one worker for this session.
+            // The receiver lives in `HostInner` for the host's lifetime,
+            // so this send cannot fail while we hold a sender clone.
+            let _ = ticket_tx.send(Arc::clone(&slot));
         }
         match reply_rx.recv() {
             Ok(response) => response,
@@ -574,87 +633,124 @@ fn worker_loop(inner: &HostInner) {
         // statement) before executing, so dispatch stays concurrent.
         let ticket = inner.ticket_rx.lock().recv();
         match ticket {
-            Ok(session_id) => run_one(inner, session_id),
+            Ok(slot) => run_one(inner, &slot),
             // All senders gone: shutdown drained every buffered ticket.
             Err(_) => return,
         }
     }
 }
 
-/// Executes exactly one queued job of `id`'s session (tickets and jobs
-/// are one-to-one). Locks the session first, then pops from the queue,
-/// so concurrent workers serialize per session and FIFO order holds.
-fn run_one(inner: &HostInner, id: u64) {
-    let slot = inner.sessions.read().get(&id).cloned();
-    let Some(slot) = slot else { return };
-    let mut session_guard = slot.session.lock();
-    let job = slot.queue.lock().pop_front();
-    let Some(job) = job else { return };
-    if let Some(m) = &inner.metrics {
-        m.queue_depth.add(-1);
-    }
-    if inner.abort.load(Ordering::Acquire) {
-        drop(session_guard);
-        let _ = job
-            .reply
-            .send(error_response(ErrorCode::ShuttingDown, "host killed"));
-        return;
-    }
-    match job.request {
-        JobRequest::Submit { writes, run_wave } => {
-            let response = match session_guard.as_mut() {
-                Some(session) => execute_submit(inner, session, &writes, run_wave),
-                None => unknown_session(id),
-            };
-            drop(session_guard);
-            let _ = job.reply.send(response);
-        }
-        JobRequest::Drain => {
-            let response = match session_guard.as_ref() {
-                Some(session) => Response::Drained {
-                    session: id,
-                    executed_waves: session.executed_waves(),
-                },
-                None => unknown_session(id),
-            };
-            drop(session_guard);
-            let _ = job.reply.send(response);
-        }
-        JobRequest::Close => {
-            let taken = session_guard.take();
-            // Jobs enqueued after the close (FIFO) die with the session.
-            let leftovers: Vec<Job> = slot.queue.lock().drain(..).collect();
-            inner.sessions.write().remove(&id);
-            drop(session_guard);
-            let response = match taken {
-                None => unknown_session(id),
-                Some(mut session) => {
-                    if let Some(m) = &inner.metrics {
-                        m.sessions_open.add(-1);
-                    }
-                    if slot.durable {
-                        match session.checkpoint() {
-                            Ok(_) => Response::Closed { session: id },
-                            Err(e) => error_response(
-                                ErrorCode::SessionFailed,
-                                &format!("close-time checkpoint failed: {e}"),
-                            ),
-                        }
-                    } else {
-                        Response::Closed { session: id }
-                    }
+/// Serves queued jobs of one session. The ticket carries the slot
+/// itself (never a map lookup — a job stays reachable even after its
+/// session leaves the map), and the `serving` flag guarantees at most
+/// one worker is in here per session, so a slow session occupies
+/// exactly one pool thread. After each job the remaining work is
+/// handed back through the ticket channel so other sessions interleave
+/// fairly; once shutdown has taken the channel, the drain finishes
+/// inline instead.
+fn run_one(inner: &HostInner, slot: &Arc<SessionSlot>) {
+    let id = slot.id;
+    loop {
+        let mut session_guard = slot.session.lock();
+        let job = {
+            let mut queue = slot.queue.lock();
+            match queue.jobs.pop_front() {
+                Some(job) => job,
+                None => {
+                    queue.serving = false;
+                    return;
                 }
-            };
-            for leftover in leftovers {
-                if let Some(m) = &inner.metrics {
-                    m.queue_depth.add(-1);
-                }
-                let _ = leftover.reply.send(error_response(
-                    ErrorCode::UnknownSession,
-                    "session closed before the job ran",
-                ));
             }
-            let _ = job.reply.send(response);
+        };
+        if let Some(m) = &inner.metrics {
+            m.queue_depth.add(-1);
+        }
+        if inner.abort.load(Ordering::Acquire) {
+            drop(session_guard);
+            let _ = job
+                .reply
+                .send(error_response(ErrorCode::ShuttingDown, "host killed"));
+        } else {
+            match job.request {
+                JobRequest::Submit { writes, run_wave } => {
+                    let response = match session_guard.as_mut() {
+                        Some(session) => execute_submit(inner, session, &writes, run_wave),
+                        None => unknown_session(id),
+                    };
+                    drop(session_guard);
+                    let _ = job.reply.send(response);
+                }
+                JobRequest::Drain => {
+                    let response = match session_guard.as_ref() {
+                        Some(session) => Response::Drained {
+                            session: id,
+                            executed_waves: session.executed_waves(),
+                        },
+                        None => unknown_session(id),
+                    };
+                    drop(session_guard);
+                    let _ = job.reply.send(response);
+                }
+                JobRequest::Close => {
+                    let taken = session_guard.take();
+                    // Jobs enqueued after the close (FIFO) die with the
+                    // session: `closed` flips under the queue mutex, so
+                    // every concurrent enqueue either landed in these
+                    // leftovers or observes the flag and is refused.
+                    let leftovers = {
+                        let mut queue = slot.queue.lock();
+                        queue.closed = true;
+                        std::mem::take(&mut queue.jobs)
+                    };
+                    inner.sessions.write().remove(&id);
+                    drop(session_guard);
+                    let response = match taken {
+                        None => unknown_session(id),
+                        Some(mut session) => {
+                            if let Some(m) = &inner.metrics {
+                                m.sessions_open.add(-1);
+                            }
+                            if slot.durable {
+                                match session.checkpoint() {
+                                    Ok(_) => Response::Closed { session: id },
+                                    Err(e) => error_response(
+                                        ErrorCode::SessionFailed,
+                                        &format!("close-time checkpoint failed: {e}"),
+                                    ),
+                                }
+                            } else {
+                                Response::Closed { session: id }
+                            }
+                        }
+                    };
+                    for leftover in leftovers {
+                        if let Some(m) = &inner.metrics {
+                            m.queue_depth.add(-1);
+                        }
+                        let _ = leftover.reply.send(error_response(
+                            ErrorCode::UnknownSession,
+                            "session closed before the job ran",
+                        ));
+                    }
+                    let _ = job.reply.send(response);
+                }
+            }
+        }
+        {
+            let mut queue = slot.queue.lock();
+            if queue.jobs.is_empty() {
+                queue.serving = false;
+                return;
+            }
+        }
+        // More work queued: hand the session back through the channel so
+        // other sessions' tickets get a turn on this thread. When
+        // shutdown/kill already took the channel, keep draining inline —
+        // every queued job must still be answered.
+        let handoff = inner.tickets.lock().clone();
+        match handoff {
+            Some(tx) if tx.send(Arc::clone(slot)).is_ok() => return,
+            _ => {}
         }
     }
 }
@@ -916,7 +1012,7 @@ mod tests {
         let a = filler(host.clone());
         let b = filler(host.clone());
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while slot.queue.lock().len() < 2 {
+        while slot.queue.lock().jobs.len() < 2 {
             assert!(std::time::Instant::now() < deadline, "queue never filled");
             std::thread::yield_now();
         }
@@ -931,6 +1027,154 @@ mod tests {
         assert!(matches!(a.join().unwrap(), Response::WaveResult(_)));
         assert!(matches!(b.join().unwrap(), Response::WaveResult(_)));
         host.shutdown();
+    }
+
+    /// Regression: a submit racing a close used to be able to push its
+    /// job after the close drain; the ticket then found no slot in the
+    /// map and the caller hung forever on its reply channel. Every call
+    /// below must return (with a typed answer), never hang.
+    #[test]
+    fn concurrent_close_and_submit_never_strand_a_caller() {
+        for _ in 0..25 {
+            let host = EngineHost::new(
+                test_registry(),
+                HostConfig::new().with_workers(2),
+                Telemetry::disabled(),
+            );
+            let id = open(
+                &host,
+                &SessionSpec {
+                    workload: "ramp".into(),
+                    ..SessionSpec::default()
+                },
+            );
+            let submitters: Vec<_> = (0..4)
+                .map(|_| {
+                    let host = host.clone();
+                    std::thread::spawn(move || {
+                        for _ in 0..8 {
+                            // Every response shape is legal here; the
+                            // invariant under test is that one arrives.
+                            let _ = host.submit(id, vec![], true);
+                        }
+                    })
+                })
+                .collect();
+            let closer = {
+                let host = host.clone();
+                std::thread::spawn(move || {
+                    std::thread::yield_now();
+                    let _ = host.close(id);
+                })
+            };
+            for t in submitters {
+                t.join().unwrap();
+            }
+            closer.join().unwrap();
+            host.shutdown();
+        }
+    }
+
+    /// A stalled session must occupy at most one worker: with two
+    /// workers and several jobs queued on a blocked session, a second
+    /// session's submit still completes.
+    #[test]
+    fn slow_session_never_absorbs_the_whole_pool() {
+        let host = EngineHost::new(
+            test_registry(),
+            HostConfig::new().with_workers(2),
+            Telemetry::disabled(),
+        );
+        let spec = SessionSpec {
+            workload: "ramp".into(),
+            ..SessionSpec::default()
+        };
+        let slow = open(&host, &spec);
+        let fast = open(&host, &spec);
+        let slow_slot = host.slot(slow).unwrap();
+
+        // Stall the slow session and queue three jobs on it; under the
+        // old ticket-per-job scheme each would wake (and wedge) its own
+        // worker, leaving none for `fast`.
+        let stall = slow_slot.session.lock();
+        let blocked: Vec<_> = (0..3)
+            .map(|_| {
+                let host = host.clone();
+                std::thread::spawn(move || host.submit(slow, vec![], true))
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while slow_slot.queue.lock().jobs.len() < 3 {
+            assert!(std::time::Instant::now() < deadline, "queue never filled");
+            std::thread::yield_now();
+        }
+
+        assert!(matches!(
+            host.submit(fast, vec![], true),
+            Response::WaveResult(_)
+        ));
+
+        drop(stall);
+        for t in blocked {
+            assert!(matches!(t.join().unwrap(), Response::WaveResult(_)));
+        }
+        host.shutdown();
+    }
+
+    #[test]
+    fn kill_answers_queued_jobs_and_zeroes_queue_depth() {
+        let telemetry = Telemetry::enabled();
+        let host = EngineHost::new(
+            test_registry(),
+            HostConfig::new().with_workers(1),
+            telemetry.clone(),
+        );
+        let id = open(
+            &host,
+            &SessionSpec {
+                workload: "ramp".into(),
+                ..SessionSpec::default()
+            },
+        );
+        let slot = host.slot(id).unwrap();
+
+        // Stall the session so three submits pile up in its queue, then
+        // kill the host; once the stall lifts, every queued job must be
+        // answered and the depth gauge must return to zero.
+        let stall = slot.session.lock();
+        let blocked: Vec<_> = (0..3)
+            .map(|_| {
+                let host = host.clone();
+                std::thread::spawn(move || host.submit(id, vec![], true))
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while slot.queue.lock().jobs.len() < 3 {
+            assert!(std::time::Instant::now() < deadline, "queue never filled");
+            std::thread::yield_now();
+        }
+        let killer = {
+            let host = host.clone();
+            std::thread::spawn(move || host.kill())
+        };
+        while !host.inner.abort.load(Ordering::Acquire) {
+            assert!(std::time::Instant::now() < deadline, "kill never aborted");
+            std::thread::yield_now();
+        }
+        drop(stall);
+        for t in blocked {
+            assert!(matches!(
+                t.join().unwrap(),
+                Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                }
+            ));
+        }
+        killer.join().unwrap();
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.gauge(names::NET_QUEUE_DEPTH), 0);
+        assert_eq!(snapshot.gauge(names::NET_SESSIONS_OPEN), 0);
     }
 
     #[test]

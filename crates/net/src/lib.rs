@@ -41,7 +41,7 @@ pub mod wire;
 
 pub use client::{Client, IngestReceipt, OpenedSession};
 pub use error::NetError;
-pub use host::{EngineHost, HostConfig};
+pub use host::{EngineHost, HostConfig, ShutdownReport};
 pub use registry::{WorkflowBuilder, WorkflowRegistry};
 pub use server::NetServer;
 pub use wire::{

@@ -20,7 +20,7 @@ use std::time::Duration;
 use smartflux_obs::{ListenerPool, StopFlag};
 
 use crate::error::NetError;
-use crate::host::EngineHost;
+use crate::host::{EngineHost, ShutdownReport};
 use crate::wire::{self, ErrorCode, FrameIn, Request, Response, VERSION};
 
 /// How long a connection read blocks before the handler re-checks the
@@ -69,9 +69,10 @@ impl NetServer {
     /// via the stop flag), then drains and checkpoints the host
     /// ([`EngineHost::shutdown`]). In-flight waves finish first; the
     /// host worker pool stays alive until every connection handler has
-    /// returned, so no blocked request is stranded. Returns the number
-    /// of sessions checkpointed.
-    pub fn shutdown(self) -> usize {
+    /// returned, so no blocked request is stranded. The report counts
+    /// checkpoints written and lists any that failed (whose sessions'
+    /// WAL tails may be unsynced).
+    pub fn shutdown(self) -> ShutdownReport {
         self.pool.shutdown();
         self.host.shutdown()
     }
@@ -215,7 +216,26 @@ fn send_response(
     host: &EngineHost,
     response: &Response,
 ) -> Result<(), NetError> {
-    wire::write_frame_to(stream, &wire::encode_response(response))?;
+    match wire::write_frame_to(stream, &wire::encode_response(response)) {
+        Ok(()) => {}
+        // The response (e.g. a StoreImage past MAX_FRAME), not the
+        // connection, is at fault — and nothing hit the stream, so the
+        // client gets a diagnosable typed error on a connection that
+        // stays alive instead of a corrupt-frame failure that kills it.
+        Err(NetError::FrameTooLarge { len }) => {
+            wire::write_frame_to(
+                stream,
+                &wire::encode_response(&Response::Error {
+                    code: ErrorCode::SessionFailed,
+                    message: format!(
+                        "response of {len} bytes exceeds the {} byte frame limit",
+                        wire::MAX_FRAME
+                    ),
+                }),
+            )?;
+        }
+        Err(e) => return Err(e),
+    }
     if let Some(m) = host.metrics() {
         m.frames_out.incr();
     }

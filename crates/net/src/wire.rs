@@ -641,10 +641,21 @@ fn finish(r: &Reader<'_>) -> Result<(), NetError> {
 
 /// Writes one frame (header + payload) to `w`.
 ///
+/// Enforces [`MAX_FRAME`] symmetrically with [`read_frame_from`]: a
+/// payload the peer would reject as corrupt is refused here with
+/// [`NetError::FrameTooLarge`] *before* any byte is written, so the
+/// stream stays frame-aligned and the caller can still send a typed
+/// error frame instead. (This also guards the `usize → u32` length
+/// conversion, which would otherwise silently truncate.)
+///
 /// # Errors
 ///
-/// Propagates the underlying write failure.
+/// Returns [`NetError::FrameTooLarge`] for payloads over [`MAX_FRAME`];
+/// otherwise propagates the underlying write failure.
 pub fn write_frame_to(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() > MAX_FRAME {
+        return Err(NetError::FrameTooLarge { len: payload.len() });
+    }
     let mut buf = Vec::with_capacity(payload.len() + 8);
     put_u32(&mut buf, payload.len() as u32);
     put_u32(&mut buf, crc32(payload));
@@ -971,6 +982,22 @@ mod tests {
             read_frame_from(&mut cursor),
             Err(NetError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_before_any_byte_is_written() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        match write_frame_to(&mut sink, &payload) {
+            Err(NetError::FrameTooLarge { len }) => assert_eq!(len, MAX_FRAME + 1),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // The stream stays frame-aligned: nothing was written, so a
+        // typed error frame can still follow.
+        assert!(sink.is_empty());
+        let payload = vec![0u8; MAX_FRAME];
+        write_frame_to(&mut sink, &payload).unwrap();
+        assert_eq!(sink.len(), MAX_FRAME + 8);
     }
 
     #[test]

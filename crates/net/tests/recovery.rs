@@ -185,7 +185,9 @@ fn orderly_shutdown_checkpoints_at_the_exact_wave() {
         client.submit_wave(opened.session, vec![]).unwrap();
     }
     drop(client);
-    assert_eq!(server.shutdown(), 1, "one durable session checkpointed");
+    let report = server.shutdown();
+    assert_eq!(report.checkpointed, 1, "one durable session checkpointed");
+    assert!(report.checkpoint_failures.is_empty());
 
     let server = start_host(&root);
     let mut client = Client::connect(server.addr()).unwrap();

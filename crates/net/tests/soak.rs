@@ -163,5 +163,7 @@ fn four_concurrent_clients_match_the_in_process_run_exactly() {
 
     obs.shutdown();
     // No session is durable here, so an orderly shutdown checkpoints none.
-    assert_eq!(server.shutdown(), 0);
+    let report = server.shutdown();
+    assert_eq!(report.checkpointed, 0);
+    assert!(report.checkpoint_failures.is_empty());
 }

@@ -1,0 +1,7 @@
+fn main() {
+    // `--cfg sim_mutation` builds deliberately reintroduce the fixed
+    // close-vs-submit race in `host.rs` so the simulation harness can
+    // prove it catches it; declare the cfg so `unexpected_cfgs` stays
+    // quiet on both build flavours.
+    println!("cargo::rustc-check-cfg=cfg(sim_mutation)");
+}

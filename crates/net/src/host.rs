@@ -551,13 +551,22 @@ impl EngineHost {
             return error_response(ErrorCode::ShuttingDown, "host is shutting down");
         };
         let (reply_tx, reply_rx) = unbounded();
+        // Simulation mutation: reintroduce the PR 9 close-vs-submit race
+        // for the harness to catch — widen the window between the map
+        // lookup above and the queue admission below, so a concurrent
+        // close can complete in between.
+        if cfg!(sim_mutation) && !control {
+            std::thread::sleep(std::time::Duration::from_millis(4));
+        }
         let schedule = {
             let mut queue = slot.queue.lock();
             // Checked under the queue mutex the Close drain also holds:
             // either this job lands before the drain (and is answered by
             // it), or it observes `closed` — it can never be pushed into
-            // a queue nothing will ever serve again.
-            if queue.closed {
+            // a queue nothing will ever serve again. (Skipped under the
+            // sim mutation: the reintroduced bug admits jobs to a closed
+            // queue.)
+            if cfg!(not(sim_mutation)) && queue.closed {
                 return unknown_session(id);
             }
             if !control && queue.jobs.len() >= inner.config.queue_capacity {
@@ -733,6 +742,14 @@ fn run_one(inner: &HostInner, slot: &Arc<SessionSlot>) {
                         ));
                     }
                     let _ = job.reply.send(response);
+                    // Simulation mutation: the reintroduced PR 9 bug
+                    // assumed the drain emptied the queue and stopped
+                    // serving here without re-checking (or clearing
+                    // `serving`), stranding any job the racing enqueue
+                    // slipped in after the drain.
+                    if cfg!(sim_mutation) {
+                        return;
+                    }
                 }
             }
         }

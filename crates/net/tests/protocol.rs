@@ -13,6 +13,7 @@ use smartflux_net::{
     Client, ContainerWrite, EngineHost, ErrorCode, HostConfig, NetError, NetServer, Request,
     Response, SessionSpec, WorkflowRegistry, MAX_FRAME, VERSION,
 };
+use smartflux_sim::faults::wire as damage;
 use smartflux_telemetry::Telemetry;
 use smartflux_wms::{FnStep, GraphBuilder, StepContext, Workflow};
 
@@ -179,9 +180,9 @@ fn damage_at_every_byte_offset_is_rejected_and_sessions_survive() {
     // One flipped byte anywhere in the frame: either the CRC catches it,
     // the declared length collapses, or the stream tears at EOF — always
     // a typed error or a clean close, never a panic, never a mutation.
-    for offset in 0..good.len() {
-        let mut damaged = good.clone();
-        damaged[offset] ^= 0xFF;
+    // The exhaustive variants come from the shared sim mutator so this
+    // battery and the scenario-driven harness damage the same way.
+    for (offset, damaged) in damage::flips(&good).enumerate() {
         let mut stream = handshaken(&server);
         // Best-effort: the server may reject and hang up before the
         // write or half-close lands — that's a pass, not a failure.
@@ -196,9 +197,9 @@ fn damage_at_every_byte_offset_is_rejected_and_sessions_survive() {
     }
 
     // Every truncation point mid-frame tears cleanly too.
-    for cut in 1..good.len() {
+    for (cut, damaged) in damage::truncations(&good) {
         let mut stream = handshaken(&server);
-        if stream.write_all(&good[..cut]).is_err() {
+        if stream.write_all(&damaged).is_err() {
             continue;
         }
         let _ = stream.shutdown(Shutdown::Write);

@@ -1,0 +1,6 @@
+fn main() {
+    // `--cfg sim_mutation` builds reintroduce a known-fixed bug in
+    // smartflux-net so the harness can prove it catches it; declare the
+    // cfg so `unexpected_cfgs` stays quiet on both build flavours.
+    println!("cargo::rustc-check-cfg=cfg(sim_mutation)");
+}

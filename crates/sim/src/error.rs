@@ -1,0 +1,84 @@
+//! Harness errors.
+//!
+//! [`SimError`] covers *infrastructure* failures — a session that cannot
+//! be built, a socket that cannot be opened, a repro string that does not
+//! parse. An oracle finding a divergence is **not** an error: that is the
+//! harness working as intended, reported as a
+//! [`Violation`](crate::oracles::Violation).
+
+use std::fmt;
+
+/// An infrastructure failure inside the harness (not an oracle finding).
+#[derive(Debug)]
+pub enum SimError {
+    /// A SmartFlux session could not be built or recovered.
+    Core(smartflux::CoreError),
+    /// The WMS rejected the generated graph or workflow.
+    Wms(smartflux_wms::WmsError),
+    /// The generated DAG was rejected by the graph builder.
+    Graph(smartflux_wms::GraphError),
+    /// A generated store operation failed outside a scripted fault.
+    Store(smartflux_datastore::StoreError),
+    /// The loopback network plane failed outside a scripted fault.
+    Net(smartflux_net::NetError),
+    /// Filesystem plumbing (durability directories) failed.
+    Io(std::io::Error),
+    /// A repro string did not parse.
+    Repro(String),
+    /// The scenario asked for something the harness cannot drive (e.g. a
+    /// kill wave beyond the scenario length).
+    Invalid(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "core: {e}"),
+            SimError::Wms(e) => write!(f, "wms: {e}"),
+            SimError::Graph(e) => write!(f, "graph: {e}"),
+            SimError::Store(e) => write!(f, "store: {e}"),
+            SimError::Net(e) => write!(f, "net: {e}"),
+            SimError::Io(e) => write!(f, "io: {e}"),
+            SimError::Repro(msg) => write!(f, "bad repro string: {msg}"),
+            SimError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<smartflux::CoreError> for SimError {
+    fn from(e: smartflux::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<smartflux_wms::WmsError> for SimError {
+    fn from(e: smartflux_wms::WmsError) -> Self {
+        SimError::Wms(e)
+    }
+}
+
+impl From<smartflux_wms::GraphError> for SimError {
+    fn from(e: smartflux_wms::GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+impl From<smartflux_datastore::StoreError> for SimError {
+    fn from(e: smartflux_datastore::StoreError) -> Self {
+        SimError::Store(e)
+    }
+}
+
+impl From<smartflux_net::NetError> for SimError {
+    fn from(e: smartflux_net::NetError) -> Self {
+        SimError::Net(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e)
+    }
+}

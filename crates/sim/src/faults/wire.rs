@@ -1,0 +1,168 @@
+//! Byte-stream mutators for SFNP frame-damage testing.
+//!
+//! Promoted out of the bespoke loops in `crates/net/tests/protocol.rs`
+//! so the exhaustive battery there and the seeded damage injection in
+//! the simulation harness share one implementation. A mutator never
+//! interprets the frame — it damages raw bytes, which is exactly what a
+//! hostile or flaky network does.
+//!
+//! Two entry styles:
+//!
+//! - **Exhaustive**: [`flips`] and [`truncations`] enumerate every
+//!   single-byte flip and every truncation point of one frame, for
+//!   worst-case sweeps in crate test suites.
+//! - **Seeded**: [`seeded`] draws a deterministic damage plan from a
+//!   [`SimRng`] stream, for scenario-driven injection where the repro
+//!   string must regenerate the exact same damage.
+
+use crate::rng::SimRng;
+
+/// One byte-stream mutation, positioned at concrete offsets so the same
+/// plan replays identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// XOR the byte at `offset` with `0xFF` (CRC must catch it).
+    FlipByte {
+        /// Damaged byte position within the frame.
+        offset: usize,
+    },
+    /// Keep only the first `keep` bytes (the stream tears mid-frame).
+    Truncate {
+        /// Number of leading bytes that survive.
+        keep: usize,
+    },
+    /// Emit the frame twice back-to-back (a replayed datagram).
+    Duplicate,
+    /// Emit `bytes[split..]` before `bytes[..split]` (reordered
+    /// delivery shredding the frame boundary).
+    SwapHalves {
+        /// Pivot position for the swap.
+        split: usize,
+    },
+}
+
+impl WireFault {
+    /// Applies the mutation to `frame`, returning the damaged stream.
+    ///
+    /// Offsets are clamped to the frame length, so a plan drawn for one
+    /// frame can be replayed against a shorter one without panicking.
+    #[must_use]
+    pub fn apply(&self, frame: &[u8]) -> Vec<u8> {
+        match *self {
+            WireFault::FlipByte { offset } => {
+                let mut damaged = frame.to_vec();
+                if let Some(byte) = damaged.get_mut(offset.min(frame.len().saturating_sub(1))) {
+                    *byte ^= 0xFF;
+                }
+                damaged
+            }
+            WireFault::Truncate { keep } => frame[..keep.min(frame.len())].to_vec(),
+            WireFault::Duplicate => {
+                let mut damaged = frame.to_vec();
+                damaged.extend_from_slice(frame);
+                damaged
+            }
+            WireFault::SwapHalves { split } => {
+                let split = split.min(frame.len());
+                let mut damaged = frame[split..].to_vec();
+                damaged.extend_from_slice(&frame[..split]);
+                damaged
+            }
+        }
+    }
+}
+
+/// Every single-byte-flip variant of `frame`, in offset order.
+pub fn flips(frame: &[u8]) -> impl Iterator<Item = Vec<u8>> + '_ {
+    (0..frame.len()).map(|offset| WireFault::FlipByte { offset }.apply(frame))
+}
+
+/// Every strict truncation of `frame` (1 ≤ keep < len), in cut order,
+/// paired with the cut point for diagnostics.
+pub fn truncations(frame: &[u8]) -> impl Iterator<Item = (usize, Vec<u8>)> + '_ {
+    (1..frame.len()).map(|keep| (keep, WireFault::Truncate { keep }.apply(frame)))
+}
+
+/// Draws `count` mutations for a frame of `frame_len` bytes from the
+/// seeded stream. Same `(seed, frame_len, count)` → same plan, always.
+#[must_use]
+pub fn seeded(seed: u64, frame_len: usize, count: usize) -> Vec<WireFault> {
+    let mut rng = SimRng::new(seed).fork(0x51_57_49_52_45); // "QWIRE"
+    let last = frame_len.saturating_sub(1);
+    (0..count)
+        .map(|_| match rng.range_u64(0, 3) {
+            0 => WireFault::FlipByte {
+                offset: rng.range_usize(0, last),
+            },
+            1 => WireFault::Truncate {
+                keep: rng.range_usize(1, last.max(1)),
+            },
+            2 => WireFault::Duplicate,
+            _ => WireFault::SwapHalves {
+                split: rng.range_usize(1, last.max(1)),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive_and_hits_every_offset() {
+        let frame = [1u8, 2, 3, 4, 5];
+        let variants: Vec<_> = flips(&frame).collect();
+        assert_eq!(variants.len(), frame.len());
+        for (offset, damaged) in variants.iter().enumerate() {
+            assert_eq!(damaged.len(), frame.len());
+            assert_ne!(damaged, &frame, "flip at {offset} must change the frame");
+            let restored = WireFault::FlipByte { offset }.apply(damaged);
+            assert_eq!(restored, frame);
+        }
+    }
+
+    #[test]
+    fn truncations_cover_every_cut_point() {
+        let frame = [9u8; 8];
+        let cuts: Vec<_> = truncations(&frame).collect();
+        assert_eq!(cuts.len(), 7);
+        for (keep, damaged) in cuts {
+            assert_eq!(damaged.len(), keep);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_swap_preserve_byte_multiset() {
+        let frame = [1u8, 2, 3, 4];
+        assert_eq!(
+            WireFault::Duplicate.apply(&frame),
+            vec![1, 2, 3, 4, 1, 2, 3, 4]
+        );
+        assert_eq!(
+            WireFault::SwapHalves { split: 1 }.apply(&frame),
+            vec![2, 3, 4, 1]
+        );
+        // Clamped past the end: degenerates to the identity stream.
+        assert_eq!(WireFault::SwapHalves { split: 99 }.apply(&frame), frame);
+    }
+
+    #[test]
+    fn seeded_plans_replay_and_vary_by_seed() {
+        let a = seeded(7, 64, 8);
+        let b = seeded(7, 64, 8);
+        let c = seeded(8, 64, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn mutations_never_panic_on_tiny_frames() {
+        for frame in [&[][..], &[0x42][..]] {
+            for fault in seeded(3, frame.len(), 16) {
+                let _ = fault.apply(frame);
+            }
+        }
+    }
+}

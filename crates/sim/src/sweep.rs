@@ -1,0 +1,150 @@
+//! The sweep driver: many seeded cases through the full oracle set.
+//!
+//! Each case derives its scenario seed from the sweep's base seed, so a
+//! sweep is itself replayable from one number. Every case's seed is
+//! logged *before* it runs — when a case wedges or crashes the process,
+//! the last logged line names the culprit. Failing cases are shrunk and
+//! reported as one-line `sfsim1;…` repro strings.
+
+use std::path::Path;
+
+use crate::error::SimError;
+use crate::oracles::{self, Violation};
+use crate::rng::SimRng;
+use crate::scenario::Scenario;
+use crate::shrink::{self, Failure};
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Base seed; case seeds derive from it deterministically.
+    pub base_seed: u64,
+    /// Cases to run.
+    pub cases: u32,
+    /// Stop at the first failing case (after shrinking it).
+    pub stop_on_failure: bool,
+    /// Oracle evaluations each failing case may spend shrinking.
+    pub shrink_budget: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            base_seed: 0x5EED_5EED,
+            cases: 256,
+            stop_on_failure: false,
+            shrink_budget: 24,
+        }
+    }
+}
+
+/// What a sweep found.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Cases executed.
+    pub cases_run: u32,
+    /// Shrunk failures, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+impl SweepOutcome {
+    /// `true` when every case passed every oracle.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The deterministic case-seed stream for a base seed.
+#[must_use]
+pub fn case_seeds(base_seed: u64, cases: u32) -> Vec<u64> {
+    let mut rng = SimRng::new(base_seed).fork(0x53_57_45_45_50); // "SWEEP"
+    (0..cases).map(|_| rng.next_u64()).collect()
+}
+
+/// Replays one repro string through the full oracle set.
+///
+/// # Errors
+///
+/// Fails if the repro string does not parse or the harness hits an
+/// infrastructure error.
+pub fn replay(repro: &str, workdir: &Path) -> Result<Vec<Violation>, SimError> {
+    let scenario: Scenario = repro.parse()?;
+    oracles::run_all(&scenario, workdir)
+}
+
+/// Runs the sweep. `log` receives one line per case (always including
+/// the seed) and one block per failure.
+pub fn sweep(options: &SweepOptions, workdir: &Path, log: &mut dyn FnMut(&str)) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    let seeds = case_seeds(options.base_seed, options.cases);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let scenario = Scenario::generate(seed);
+        log(&format!(
+            "case {:>4}/{} seed=0x{seed:016x} {scenario}",
+            i + 1,
+            options.cases
+        ));
+        let case_dir = workdir.join(format!("case{i}"));
+        outcome.cases_run += 1;
+        let violations = match oracles::run_all(&scenario, &case_dir) {
+            Ok(found) => found,
+            Err(e) => vec![Violation {
+                oracle: "infra",
+                detail: format!("harness failed: {e}"),
+            }],
+        };
+        if violations.is_empty() {
+            let _ = std::fs::remove_dir_all(&case_dir);
+            continue;
+        }
+        log(&format!(
+            "case {:>4} FAILED ({} violation(s)) — shrinking…",
+            i + 1,
+            violations.len()
+        ));
+        let failure = shrink::shrink(&scenario, violations, &case_dir, options.shrink_budget);
+        log(&failure.to_string());
+        let _ = std::fs::remove_dir_all(&case_dir);
+        outcome.failures.push(failure);
+        if options.stop_on_failure {
+            break;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_deterministic_and_distinct() {
+        let a = case_seeds(1, 64);
+        let b = case_seeds(1, 64);
+        let c = case_seeds(2, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let unique: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), a.len(), "case seeds must not collide");
+    }
+
+    #[test]
+    fn a_small_sweep_passes_and_logs_every_seed() {
+        let workdir = std::env::temp_dir().join(format!("sfsim-sweep-{}", std::process::id()));
+        let mut lines = Vec::new();
+        let outcome = sweep(
+            &SweepOptions {
+                cases: 4,
+                ..SweepOptions::default()
+            },
+            &workdir,
+            &mut |line| lines.push(line.to_string()),
+        );
+        assert_eq!(outcome.cases_run, 4);
+        assert!(outcome.passed(), "sweep failed:\n{}", lines.join("\n"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.contains("seed=0x")));
+        let _ = std::fs::remove_dir_all(workdir);
+    }
+}

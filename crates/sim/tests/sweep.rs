@@ -1,0 +1,73 @@
+//! The property sweep: N seeded scenarios through every oracle.
+//!
+//! Knobs (environment):
+//! - `SMARTFLUX_SIM_CASES`  — cases to run (default 64; CI smoke uses
+//!   256, the nightly sweep 10 000).
+//! - `SMARTFLUX_SIM_SEED`   — base seed for the case stream.
+//! - `SMARTFLUX_SIM_REPRO`  — an `sfsim1;…` line; replays exactly that
+//!   case instead of sweeping.
+//!
+//! Every case's seed is printed before it runs (run with
+//! `--nocapture` or look at the captured output of a failure), so a
+//! wedged or crashed case is identifiable from the last line alone.
+
+use smartflux_sim::sweep::{self, SweepOptions};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(value) if !value.trim().is_empty() => {
+            let value = value.trim();
+            let parsed = match value.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => value.parse(),
+            };
+            parsed.unwrap_or_else(|e| panic!("{name}={value}: {e}"))
+        }
+        _ => default,
+    }
+}
+
+fn workdir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sfsim-sweep-it-{}", std::process::id()))
+}
+
+#[test]
+fn property_sweep() {
+    let dir = workdir();
+    if let Ok(repro) = std::env::var("SMARTFLUX_SIM_REPRO") {
+        println!("replaying repro: {repro}");
+        let violations = sweep::replay(&repro, &dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            violations.is_empty(),
+            "repro still fails:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        return;
+    }
+
+    let options = SweepOptions {
+        base_seed: env_u64("SMARTFLUX_SIM_SEED", 0x5EED_5EED),
+        cases: u32::try_from(env_u64("SMARTFLUX_SIM_CASES", 64)).unwrap(),
+        stop_on_failure: false,
+        shrink_budget: 24,
+    };
+    let outcome = sweep::sweep(&options, &dir, &mut |line| println!("{line}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(outcome.cases_run, options.cases);
+    assert!(
+        outcome.passed(),
+        "{} case(s) failed; shrunk repros:\n{}",
+        outcome.failures.len(),
+        outcome
+            .failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -134,7 +134,7 @@ impl fmt::Display for Diagnostic {
 /// Internal crates (prefix match for `smartflux`) and their permitted
 /// internal dependencies — the documented architecture. Crates absent from
 /// this table may depend on every internal crate (leaf consumers).
-const LAYERING: [(&str, &[&str]); 12] = [
+const LAYERING: [(&str, &[&str]); 13] = [
     ("smartflux-telemetry", &[]),
     ("smartflux-obs", &["smartflux-telemetry"]),
     ("smartflux-datastore", &[]),
@@ -167,6 +167,17 @@ const LAYERING: [(&str, &[&str]); 12] = [
             "smartflux-wms",
             "smartflux-datastore",
             "smartflux-durability",
+        ],
+    ),
+    (
+        "smartflux-sim",
+        &[
+            "smartflux",
+            "smartflux-wms",
+            "smartflux-datastore",
+            "smartflux-durability",
+            "smartflux-telemetry",
+            "smartflux-net",
         ],
     ),
     // The root package, workloads and bench may depend on everything.
@@ -274,7 +285,7 @@ pub fn check_panic(file: &SourceFile) -> Vec<Diagnostic> {
 
 /// Crates that must use the vendored `parking_lot` instead of `std::sync`
 /// locks.
-pub const PARKING_LOT_CRATES: [&str; 7] = [
+pub const PARKING_LOT_CRATES: [&str; 8] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
@@ -282,6 +293,7 @@ pub const PARKING_LOT_CRATES: [&str; 7] = [
     "smartflux-durability",
     "smartflux-obs",
     "smartflux-net",
+    "smartflux-sim",
 ];
 
 /// Flags `std::sync::Mutex`/`RwLock` usage in parking_lot crates.
@@ -442,13 +454,14 @@ pub fn check_lock_span(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 }
 
 /// Crates whose telemetry call sites must be guard-checked.
-pub const TELEMETRY_GUARD_CRATES: [&str; 6] = [
+pub const TELEMETRY_GUARD_CRATES: [&str; 7] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
     "smartflux-durability",
     "smartflux-obs",
     "smartflux-net",
+    "smartflux-sim",
 ];
 
 const METRIC_TOKENS: [&str; 3] = [".counter(", ".histogram(", ".gauge("];
@@ -573,7 +586,7 @@ pub fn check_time(file: &SourceFile, crate_name: &str) -> Vec<Diagnostic> {
 
 /// Crates whose `src/lib.rs` must carry `#![warn(missing_docs)]` (every
 /// internal crate except the bench harness opts in).
-pub const MISSING_DOCS_OPT_IN: [&str; 10] = [
+pub const MISSING_DOCS_OPT_IN: [&str; 11] = [
     "smartflux",
     "smartflux-datastore",
     "smartflux-wms",
@@ -584,6 +597,7 @@ pub const MISSING_DOCS_OPT_IN: [&str; 10] = [
     "smartflux-durability",
     "smartflux-obs",
     "smartflux-net",
+    "smartflux-sim",
 ];
 
 /// Tabs, trailing whitespace, `dbg!`, `TODO`/`FIXME` without an issue

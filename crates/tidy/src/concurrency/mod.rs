@@ -30,7 +30,7 @@ pub mod symbols;
 
 /// Crates the concurrency passes run on. Leaf/bench/tooling crates are
 /// excluded: they are single-threaded drivers and would only add noise.
-pub const CONCURRENCY_CRATES: [&str; 7] = [
+pub const CONCURRENCY_CRATES: [&str; 8] = [
     "smartflux",
     "smartflux-wms",
     "smartflux-datastore",
@@ -38,6 +38,7 @@ pub const CONCURRENCY_CRATES: [&str; 7] = [
     "smartflux-durability",
     "smartflux-obs",
     "smartflux-net",
+    "smartflux-sim",
 ];
 
 /// Acquisition mode of a lock class.

@@ -2,9 +2,11 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError};
+use parking_lot::Mutex;
 use smartflux_datastore::DataStore;
 use smartflux_telemetry::{names, Telemetry};
 
@@ -41,6 +43,64 @@ impl WaveOutcome {
     }
 }
 
+/// Watchdog worker threads whose attempt timed out and was abandoned
+/// mid-flight.
+///
+/// Before this registry existed, a timed-out attempt's worker thread was
+/// simply detached — on a wave abort nothing ever joined it, so every
+/// hang-faulted wave leaked one OS thread for the life of the process.
+/// Now every abandoned handle is kept here: finished workers are reaped
+/// (joined) at each wave boundary — completed *and* aborted — and the
+/// scheduler's `Drop` joins whatever is still running, so no watchdog
+/// thread outlives its scheduler.
+#[derive(Clone, Default)]
+struct AbandonedWatchdogs {
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AbandonedWatchdogs {
+    /// Records a worker whose attempt timed out and keeps running.
+    fn register(&self, handle: JoinHandle<()>) {
+        self.handles.lock().push(handle);
+    }
+
+    /// Joins every abandoned worker that has already finished; running
+    /// ones are left for a later reap or [`AbandonedWatchdogs::join_all`].
+    fn reap_finished(&self) {
+        let finished = {
+            let mut handles = self.handles.lock();
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    finished.push(handles.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            finished
+        };
+        // Joined outside the lock (a join may block, briefly even for a
+        // finished thread, and must never happen under a held guard).
+        for handle in finished {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until every abandoned worker has finished, joining them all.
+    fn join_all(&self) {
+        let drained = std::mem::take(&mut *self.handles.lock());
+        for handle in drained {
+            let _ = handle.join();
+        }
+    }
+
+    /// Abandoned workers not yet reaped (finished or not).
+    fn len(&self) -> usize {
+        self.handles.lock().len()
+    }
+}
+
 /// The result of driving one step through its retry budget.
 struct StepExecution {
     /// Final result: busy time on success, the last attempt's error on
@@ -59,8 +119,10 @@ struct StepExecution {
 /// Each attempt opens a `wms.step_attempt` span (tag = attempt number), so
 /// retries show up as sibling children of the enclosing step span in trace
 /// trees.
+#[allow(clippy::too_many_arguments)] // flat borrows: both schedulers call this from worker scopes
 fn run_step_with_retry(
     telemetry: &Telemetry,
+    abandoned: &AbandonedWatchdogs,
     implementation: &Arc<dyn Step>,
     retry: RetryPolicy,
     store: &DataStore,
@@ -80,9 +142,13 @@ fn run_step_with_retry(
             let _attempt_span = telemetry.span(names::STEP_ATTEMPT_LATENCY, u64::from(attempts));
             match retry.timeout() {
                 None => attempt_inline(implementation, &ctx),
-                Some(limit) => {
-                    attempt_with_watchdog(telemetry, Arc::clone(implementation), ctx, limit)
-                }
+                Some(limit) => attempt_with_watchdog(
+                    telemetry,
+                    abandoned,
+                    Arc::clone(implementation),
+                    ctx,
+                    limit,
+                ),
             }
         };
         match result {
@@ -123,11 +189,13 @@ fn attempt_inline(
 
 /// One attempt bounded by a wall-clock watchdog: the step runs on a
 /// spawned thread while this thread waits at most `limit` for its result.
-/// On timeout the attempt fails and the runaway execution is abandoned in
-/// the background (it keeps its own store clone) — which is why steps
-/// under a timeout should be idempotent per wave.
+/// On timeout the attempt fails and the runaway execution is abandoned to
+/// the scheduler's [`AbandonedWatchdogs`] registry (it keeps its own store
+/// clone) — which is why steps under a timeout should be idempotent per
+/// wave. Workers that finished (result or panic) are joined right here.
 fn attempt_with_watchdog(
     telemetry: &Telemetry,
+    abandoned: &AbandonedWatchdogs,
     implementation: Arc<dyn Step>,
     ctx: StepContext,
     limit: Duration,
@@ -137,16 +205,25 @@ fn attempt_with_watchdog(
     // trace events emitted by the step still parent under its attempt span.
     let trace_ctx = telemetry.trace_context();
     let worker_telemetry = telemetry.clone();
-    std::thread::spawn(move || {
+    let handle = std::thread::spawn(move || {
         let _trace_guard = worker_telemetry.propagate(trace_ctx);
         let _ = tx.send(attempt_inline(&implementation, &ctx));
     });
     match rx.recv_timeout(limit) {
-        Ok(result) => result,
+        Ok(result) => {
+            // The worker has sent its result and is exiting; join it so a
+            // successful timed attempt leaves no thread behind.
+            let _ = handle.join();
+            result
+        }
         Err(RecvTimeoutError::Timeout) => {
+            abandoned.register(handle);
             Err(StepError::msg(format!("step timed out after {limit:?}")))
         }
-        Err(RecvTimeoutError::Disconnected) => Err(StepError::msg("step panicked")),
+        Err(RecvTimeoutError::Disconnected) => {
+            let _ = handle.join();
+            Err(StepError::msg("step panicked"))
+        }
     }
 }
 
@@ -171,6 +248,7 @@ pub struct Scheduler {
     telemetry: Telemetry,
     ever_executed: Vec<bool>,
     next_wave: WaveId,
+    abandoned: AbandonedWatchdogs,
 }
 
 impl Scheduler {
@@ -187,6 +265,7 @@ impl Scheduler {
             telemetry: Telemetry::disabled(),
             ever_executed: vec![false; n],
             next_wave: 1,
+            abandoned: AbandonedWatchdogs::default(),
         }
     }
 
@@ -231,6 +310,25 @@ impl Scheduler {
     /// Subscribes to scheduler events.
     pub fn subscribe(&mut self) -> EventSubscription {
         self.events.subscribe()
+    }
+
+    /// Blocks until every watchdog worker abandoned by a timed-out attempt
+    /// has finished, joining them all.
+    ///
+    /// Finished workers are reaped automatically at each wave boundary and
+    /// everything is joined on drop; call this between waves when a test
+    /// or harness needs the store quiescent — e.g. before comparing store
+    /// contents, so a runaway attempt's late writes land at a defined
+    /// point instead of racing the next wave.
+    pub fn join_abandoned(&self) {
+        self.abandoned.join_all();
+    }
+
+    /// Number of abandoned watchdog workers not yet reaped (finished or
+    /// still running).
+    #[must_use]
+    pub fn abandoned_watchdogs(&self) -> usize {
+        self.abandoned.len()
     }
 
     /// The number of the next wave to run.
@@ -331,6 +429,7 @@ impl Scheduler {
                         .span(names::STEP_TOTAL_LATENCY, step.index() as u64);
                     run_step_with_retry(
                         &self.telemetry,
+                        &self.abandoned,
                         &implementation,
                         retry,
                         &self.store,
@@ -372,6 +471,7 @@ impl Scheduler {
 
         self.policy.end_wave(wave, &self.workflow);
         self.stats.record_wave();
+        self.abandoned.reap_finished();
         self.events.publish(&SchedulerEvent::WaveCompleted {
             wave,
             executed: outcome.executed.len(),
@@ -495,12 +595,14 @@ impl Scheduler {
                         let retry = self.workflow.info(step).retry();
                         let store = &self.store;
                         let telemetry = &self.telemetry;
+                        let abandoned = &self.abandoned;
                         scope.spawn(move || {
                             let _trace_guard = telemetry.propagate(trace_ctx);
                             let _step_span =
                                 telemetry.span(names::STEP_TOTAL_LATENCY, step.index() as u64);
                             run_step_with_retry(
                                 telemetry,
+                                abandoned,
                                 implementation,
                                 retry,
                                 store,
@@ -560,6 +662,7 @@ impl Scheduler {
 
         self.policy.end_wave(wave, &self.workflow);
         self.stats.record_wave();
+        self.abandoned.reap_finished();
         self.events.publish(&SchedulerEvent::WaveCompleted {
             wave,
             executed: outcome.executed.len(),
@@ -592,6 +695,7 @@ impl Scheduler {
         }
         self.policy.end_wave(wave, &self.workflow);
         self.stats.record_aborted_wave();
+        self.abandoned.reap_finished();
         if self.telemetry.is_enabled() {
             self.telemetry.counter(names::WAVES_ABORTED).incr();
         }
@@ -683,6 +787,17 @@ impl std::fmt::Debug for Scheduler {
             .field("workflow", &self.workflow)
             .field("next_wave", &self.next_wave)
             .finish()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // A scheduler must not leave runaway watchdog workers behind: a
+        // timed-out step attempt may still be executing against a clone of
+        // the store, and letting it outlive the scheduler races whatever
+        // the owner does next with that store (export, comparison,
+        // recovery). Waits as long as the slowest runaway step.
+        self.abandoned.join_all();
     }
 }
 

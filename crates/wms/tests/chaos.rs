@@ -400,3 +400,68 @@ fn watchdog_timeout_without_retry_budget_aborts() {
     assert_eq!(sched.stats().waves_aborted(), 1);
     assert_eq!(sched.next_wave(), 2, "the aborted wave is closed");
 }
+
+/// Threads of the current process, from `/proc/self/status` (Linux only).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+/// Regression: a hang-faulted step whose watchdog fires on an *aborting*
+/// wave used to leak its worker thread — nothing ever joined the detached
+/// runaway, so a process driving many hang-aborted waves accumulated one
+/// OS thread per abort. The scheduler now reaps finished watchdog workers
+/// at every wave boundary (completed and aborted alike) and joins the
+/// rest on drop, so 100 aborted waves must not grow the thread count.
+#[cfg(target_os = "linux")]
+#[test]
+fn aborted_hang_waves_do_not_leak_watchdog_threads() {
+    let store = DataStore::new();
+    store.create_table("t").unwrap();
+    store.create_family("t", "f").unwrap();
+
+    let mut g = GraphBuilder::new("hang-leak");
+    let slow = g.add_step("slow");
+    let mut wf = Workflow::new(g.build().unwrap());
+    wf.bind(
+        slow,
+        FaultyStep::new(
+            FnStep::new(|_: &StepContext| Ok(())),
+            FaultSchedule::Hang {
+                every: 1,
+                duration: Duration::from_millis(30),
+            },
+        ),
+    )
+    .source()
+    // No retry budget: every wave aborts on the watchdog timeout.
+    .retry(RetryPolicy::none().with_timeout(Duration::from_millis(2)));
+
+    let mut sched = Scheduler::new(wf, store, Box::new(HashSkipPolicy));
+    let before = thread_count();
+    for wave in 0..100u64 {
+        let err = sched.run_wave().unwrap_err();
+        assert!(err.to_string().contains("timed out"), "wave {wave}: {err}");
+    }
+    // Wave-boundary reaping keeps the abandoned set bounded by the few
+    // most recent runaways (each lives ~30ms); it must never track the
+    // abort count.
+    assert!(
+        sched.abandoned_watchdogs() <= 16,
+        "abandoned registry grew: {}",
+        sched.abandoned_watchdogs()
+    );
+    sched.join_abandoned();
+    assert_eq!(sched.abandoned_watchdogs(), 0);
+    let after = thread_count();
+    assert!(
+        after <= before + 1,
+        "watchdog threads leaked: {before} before, {after} after 100 aborted waves"
+    );
+    assert_eq!(sched.stats().waves_aborted(), 100);
+}

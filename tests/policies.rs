@@ -1,7 +1,10 @@
-//! Integration: the twin-run evaluation harness across trigger policies.
+//! Integration: the twin-run evaluation harness across trigger policies,
+//! plus a simulation-harness case pinning the QoD→SDF revert path under
+//! crash recovery.
 
 use smartflux::eval::{evaluate, EvalPolicy};
 use smartflux::{EngineConfig, ImpactCombiner, MetricKind, ModelKind, QodSpec};
+use smartflux_sim::{harness, oracles, Scenario};
 use smartflux_workloads::aqhi::{AqhiConfig, AqhiFactory};
 use smartflux_workloads::lrb::{classify_qod_spec, LrbConfig, LrbFactory};
 
@@ -181,6 +184,76 @@ fn higher_bounds_do_not_cost_more_executions() {
         "loose {} vs strict {}",
         loose.normalized_executions(),
         strict.normalized_executions()
+    );
+}
+
+/// The QoD engine's graceful degradation — reverting a failed step (and
+/// its downstream QoD steps) to synchronous SDF execution until each
+/// completes a wave again — must survive a crash landing in the middle
+/// of the revert window.
+///
+/// Driven end-to-end by the simulation harness from a pinned repro
+/// line: source step 0 aborts its wave every 7th wave (`failures=1`
+/// against a retry budget of 1 — sources always execute, so the fault
+/// fires in the application phase too), training ends after wave 8, and
+/// the session is crash-killed right after the wave-14 abort — so the
+/// recovered session must re-establish the fallback from the replayed
+/// abort before serving wave 15 synchronously.
+#[test]
+fn qod_to_sdf_revert_survives_crash_recovery() {
+    const REPRO: &str = "sfsim1;seed=0x51af;steps=4;edges=0;waves=24;train=8;wpw=2;rows=3;\
+                         drift=0.01;spike=0@0.0;shards=auto;retry=1;faults=ekw@0:7x1;\
+                         dur=5+14;net=none";
+    let pinned = REPRO.replace(char::is_whitespace, "");
+    let scenario: Scenario = pinned.parse().expect("pinned repro must parse");
+    assert_eq!(scenario.repro(), pinned, "pinned repro must round-trip");
+
+    let dir = std::env::temp_dir().join(format!("sfsim-policies-{}", std::process::id()));
+    let crash = harness::run_scenario(&scenario, &dir, "crash").expect("crash run succeeds");
+    let reference =
+        harness::run_uninterrupted(&scenario, &dir, "ref").expect("reference run succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The session was killed once and recovered once.
+    assert_eq!(crash.segments, 2, "expected exactly one crash/recover");
+    // The scripted fault aborted a post-training wave (seen in both the
+    // pre-crash segment and the recovery replay)...
+    assert!(
+        crash.aborted_waves.contains(&14),
+        "wave 14 did not abort: {:?}",
+        crash.aborted_waves
+    );
+    // ...and the engine reverted to synchronous execution afterwards.
+    let fallbacks = crash.counters["engine.sdf_fallbacks"];
+    assert!(fallbacks > 0, "no SDF fallback recorded after the abort");
+    assert!(
+        reference.counters["engine.sdf_fallbacks"] > 0,
+        "the uninterrupted run must revert too"
+    );
+    // The wave after the post-crash abort forced execution (the revert
+    // is visible in the decision trail, not just the counter).
+    let after = crash
+        .decisions
+        .iter()
+        .rev()
+        .find(|d| d.wave == 15)
+        .expect("wave 15 must be observed by the recovered segment");
+    assert!(!after.training, "wave 15 must be in the application phase");
+    assert!(
+        after.decisions.iter().any(|&d| d),
+        "the revert wave must execute at least one QoD step"
+    );
+    // Recovery mid-revert converges to the uninterrupted truth: same
+    // final store, clock, and per-wave decisions.
+    let violations = oracles::check_crash_equivalence(&crash, &reference);
+    assert!(
+        violations.is_empty(),
+        "crash/recover diverged from the uninterrupted run:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
